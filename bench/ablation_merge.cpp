@@ -1,0 +1,77 @@
+// Ablation: the Phase-II boundary-merge backend and lock-pool striping.
+//
+// The paper fixes one design: Algorithm 8 (lock-based parallel REM). This
+// bench quantifies that choice against the alternatives implemented in
+// unionfind/parallel_rem.hpp:
+//   * locked  — Algorithm 8, striped locks (the paper's design)
+//   * cas     — lock-free compare-and-swap REM
+//   * seq     — boundary merge serialized on one thread (lower bound)
+// and sweeps the lock-stripe count for the locked backend (substitution
+// S5 replaced the paper's lock-per-label array with a striped pool).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/paremsp_all.hpp"
+
+int main() {
+  using namespace paremsp;
+  using namespace paremsp::bench;
+
+  print_banner("Ablation: PAREMSP boundary-merge backend");
+
+  // A merge-heavy workload: thin vertical bars cross every chunk boundary,
+  // so Phase II has maximal work relative to Phase I.
+  const auto ladder = nlcd_ladder();
+  const auto& rung = ladder[2];  // mid-size rung
+  const BinaryImage landcover = make_nlcd_image(rung);
+  const BinaryImage bars =
+      gen::stripes(rung.rows, rung.cols, 3, 1, /*vertical=*/true);
+
+  const int threads = std::min(bench_max_threads(), 8);
+  const int reps = bench_reps();
+
+  TextTable table("Merge backends at " + std::to_string(threads) +
+                  " threads [msec]");
+  table.set_header({"Backend", "Workload", "Scan", "Merge", "Total"});
+
+  const auto run = [&](MergeBackend backend, int lock_bits,
+                       const std::string& name, const BinaryImage& image,
+                       const std::string& workload) {
+    const ParemspLabeler labeler(
+        ParemspConfig{threads, backend, lock_bits});
+    const PhaseTimings t = time_labeler_phases(labeler, image, reps);
+    table.add_row({name, workload, TextTable::num(t.scan_ms),
+                   TextTable::num(t.merge_ms, 3),
+                   TextTable::num(t.total_ms)});
+  };
+
+  for (const auto& [image, workload] :
+       {std::pair<const BinaryImage&, std::string>{landcover, "landcover"},
+        std::pair<const BinaryImage&, std::string>{bars, "bars"}}) {
+    table.add_separator();
+    run(MergeBackend::LockedRem, 12, "locked (paper)", image, workload);
+    run(MergeBackend::CasRem, 12, "cas", image, workload);
+    run(MergeBackend::Sequential, 12, "sequential", image, workload);
+  }
+  std::cout << table.to_string() << '\n';
+
+  TextTable stripes_table("Lock-stripe sweep (locked backend, bars)");
+  stripes_table.set_header({"Stripe bits", "Locks", "Merge [msec]"});
+  for (const int bits : {0, 2, 4, 8, 12, 16}) {
+    const ParemspLabeler labeler(
+        ParemspConfig{threads, MergeBackend::LockedRem, bits});
+    const PhaseTimings t = time_labeler_phases(labeler, bars, reps);
+    stripes_table.add_row({std::to_string(bits),
+                           std::to_string(1 << bits),
+                           TextTable::num(t.merge_ms, 3)});
+  }
+  std::cout << stripes_table.to_string() << '\n';
+
+  std::cout
+      << "Expected shape: merge time is a tiny fraction of scan time on\n"
+      << "realistic (landcover) inputs — the paper's Figure 5a/5b overlap.\n"
+      << "Few stripes (0-2 bits) serialize contended root updates; beyond\n"
+      << "~8 bits the sweep flattens.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: parallelization strategies.
+//
+// The paper's claim is not just "parallelize CCL" but "parallelize *this*
+// two-pass structure": chunk-local two-line scans plus a REM boundary
+// merge. This bench pits PAREMSP against the alternatives the paper's
+// related work describes:
+//   * paremsp           — the paper's design (two-line scan per chunk)
+//   * paremsp-oneline   — same skeleton, one-line decision-tree scan
+//                         (how much does the two-line scan matter when
+//                         parallel?)
+//   * psuzuki           — chunked parallel multi-pass (after [42], which
+//                         achieved only 2.5x on 4 threads): iteration
+//                         count, not per-pass speed, is the bottleneck
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/paremsp_all.hpp"
+
+int main() {
+  using namespace paremsp;
+  using namespace paremsp::bench;
+
+  print_banner("Ablation: parallelization strategies");
+
+  const auto ladder = nlcd_ladder();
+  const auto& rung = ladder[3];
+  const BinaryImage landcover = make_nlcd_image(rung);
+  // psuzuki needs O(direction reversals) full-image sweeps on a spiral, so
+  // the spiral workload is capped — the point (iteration blow-up) shows at
+  // any size; an uncapped 7 MP spiral would take minutes per measurement.
+  const Coord spiral_side = std::min<Coord>(rung.rows, 640);
+  const BinaryImage spiral = gen::spiral(spiral_side, spiral_side, 2, 3);
+  const std::vector<int> threads = sweep_thread_counts({1, 2, 4, 8});
+  const int reps = bench_reps();
+
+  for (const auto& [image, workload] :
+       {std::pair<const BinaryImage&, std::string>{landcover, "landcover"},
+        std::pair<const BinaryImage&, std::string>{spiral, "spiral"}}) {
+    TextTable table("Workload: " + workload + " (" +
+                    std::to_string(image.rows()) + "x" +
+                    std::to_string(image.cols()) + ") — total time [msec]");
+    std::vector<std::string> header{"#Threads",        "paremsp",
+                                    "paremsp-oneline", "paremsp2d",
+                                    "psuzuki",         "psuzuki iters"};
+    table.set_header(header);
+
+    for (const int t : threads) {
+      const ParemspLabeler two_line(ParemspConfig{t});
+      const ParemspLabeler one_line(ParemspConfig{
+          t, MergeBackend::LockedRem, 12, ScanStrategy::OneLine});
+      const TiledParemspLabeler tiled(TiledParemspConfig{.threads = t});
+      const ParallelSuzukiLabeler psuzuki(Connectivity::Eight, t);
+
+      const double t2 = time_labeler_ms(two_line, image, reps);
+      const double t1 = time_labeler_ms(one_line, image, reps);
+      const double td = time_labeler_ms(tiled, image, reps);
+      const double tp = time_labeler_ms(psuzuki, image, reps);
+      table.add_row({std::to_string(t) + oversubscription_note(t),
+                     TextTable::num(t2), TextTable::num(t1),
+                     TextTable::num(td), TextTable::num(tp),
+                     std::to_string(psuzuki.last_iteration_count())});
+    }
+    std::cout << table.to_string() << '\n';
+  }
+
+  std::cout
+      << "Expected shape: paremsp < paremsp-oneline (the two-line scan\n"
+      << "halves row traversals); paremsp2d tracks paremsp closely (tiling\n"
+      << "pays off only beyond row-count-limited thread counts); all\n"
+      << "two-pass variants beat psuzuki by a wide margin on the spiral,\n"
+      << "whose snaking component forces many propagation iterations — the\n"
+      << "multi-pass pathology that motivates two-pass labeling (paper\n"
+      << "§I-II).\n";
+  return 0;
+}

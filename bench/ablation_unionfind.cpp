@@ -1,0 +1,151 @@
+// Ablation (google-benchmark): union-find variants on CCL-shaped
+// workloads — the comparison that led the paper to pick REM with splicing
+// (Patwary, Blair & Manne, SEA 2010, reference [40]).
+//
+// Workloads:
+//   * CclTrace  — the exact unite() sequence an AREMSP scan issues on a
+//                 landcover image (recorded once, replayed per variant);
+//   * GridChain — pathological long chains (8-connected spiral);
+//   * Random    — uniform random edges, the classic DSU stressor.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "core/equiv_policies.hpp"
+#include "core/scan_two_line.hpp"
+#include "image/generators.hpp"
+#include "image/raster.hpp"
+#include "unionfind/policies.hpp"
+#include "unionfind/rem.hpp"
+
+namespace {
+
+using namespace paremsp;
+
+using Edge = std::pair<Label, Label>;
+
+/// Record the unites an AREMSP scan performs on a landcover image.
+struct TraceEquiv {
+  std::vector<Edge>* out;
+  Label count = 0;
+  Label new_label() { return ++count; }
+  Label merge(Label a, Label b) {
+    out->emplace_back(a, b);
+    return a;
+  }
+  [[nodiscard]] Label copy(Label a) const { return a; }
+  [[nodiscard]] Label used() const { return count; }
+};
+
+struct Workload {
+  Label n = 0;
+  std::vector<Edge> edges;
+};
+
+const Workload& ccl_trace() {
+  static const Workload w = [] {
+    Workload out;
+    const BinaryImage image = gen::landcover_like(512, 512, 42, 3);
+    LabelImage labels(image.rows(), image.cols());
+    std::vector<Edge> edges;
+    TraceEquiv eq{&edges};
+    scan_two_line(image, labels, eq, 0, image.rows());
+    out.n = eq.used() + 1;
+    out.edges = std::move(edges);
+    return out;
+  }();
+  return w;
+}
+
+const Workload& spiral_chain() {
+  static const Workload w = [] {
+    Workload out;
+    out.n = 1 << 16;
+    for (Label i = 0; i + 1 < out.n; ++i) out.edges.emplace_back(i, i + 1);
+    return out;
+  }();
+  return w;
+}
+
+const Workload& random_edges() {
+  static const Workload w = [] {
+    Workload out;
+    out.n = 1 << 16;
+    Xoshiro256 rng(7);
+    for (int i = 0; i < (1 << 17); ++i) {
+      out.edges.emplace_back(
+          static_cast<Label>(rng.next_below(static_cast<std::uint64_t>(out.n))),
+          static_cast<Label>(
+              rng.next_below(static_cast<std::uint64_t>(out.n))));
+    }
+    return out;
+  }();
+  return w;
+}
+
+const Workload& pick(int id) {
+  switch (id) {
+    case 0: return ccl_trace();
+    case 1: return spiral_chain();
+    default: return random_edges();
+  }
+}
+
+const char* workload_name(int id) {
+  switch (id) {
+    case 0: return "ccl_trace";
+    case 1: return "chain";
+    default: return "random";
+  }
+}
+
+template <class Uf>
+void bench_variant(benchmark::State& state) {
+  const Workload& w = pick(static_cast<int>(state.range(0)));
+  Uf uf;
+  for (auto _ : state) {
+    uf.reset(w.n);
+    for (const auto& [x, y] : w.edges) {
+      benchmark::DoNotOptimize(uf.unite(x, y));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.edges.size()));
+  state.SetLabel(workload_name(static_cast<int>(state.range(0))));
+}
+
+void BM_RemSplice(benchmark::State& state) {
+  bench_variant<uf::RemSplice>(state);
+}
+void BM_RankPc(benchmark::State& state) {
+  bench_variant<uf::UfRankPc>(state);
+}
+void BM_RankHalve(benchmark::State& state) {
+  bench_variant<uf::UfRankHalve>(state);
+}
+void BM_RankSplit(benchmark::State& state) {
+  bench_variant<uf::UfRankSplit>(state);
+}
+void BM_IndexPc(benchmark::State& state) {
+  bench_variant<uf::UfIndexPc>(state);
+}
+void BM_IndexNoComp(benchmark::State& state) {
+  bench_variant<uf::UfIndexNoComp>(state);
+}
+void BM_SizePc(benchmark::State& state) {
+  bench_variant<uf::UfSizePc>(state);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RemSplice)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_RankPc)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_RankHalve)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_RankSplit)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_IndexPc)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_IndexNoComp)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_SizePc)->Arg(0)->Arg(1)->Arg(2);
+
+BENCHMARK_MAIN();

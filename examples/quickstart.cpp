@@ -1,0 +1,48 @@
+// Quickstart: generate a small image, label it with the paper's parallel
+// algorithm (PAREMSP), and print the result.
+//
+//   $ ./quickstart
+//   $ ./quickstart --rows 16 --cols 40 --density 0.4 --seed 7 --threads 4
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "core/paremsp_all.hpp"
+
+int main(int argc, char** argv) {
+  using namespace paremsp;
+
+  CliParser cli("quickstart: label a random image with PAREMSP");
+  cli.add_option("rows", "12", "image rows");
+  cli.add_option("cols", "48", "image cols");
+  cli.add_option("density", "0.45", "foreground density in [0,1]");
+  cli.add_option("seed", "2014", "random seed");
+  cli.add_option("threads", "0", "worker threads (0 = OpenMP default)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // 1. Make (or load — see image/pnm_io.hpp) a binary image.
+  const BinaryImage image =
+      gen::uniform_noise(cli.get_int("rows"), cli.get_int("cols"),
+                         cli.get_double("density"),
+                         static_cast<std::uint64_t>(cli.get_int("seed")));
+
+  // 2. Label its 8-connected components.
+  const auto labeler = make_labeler(
+      Algorithm::Paremsp, LabelerOptions{.threads = cli.get_int("threads")});
+  const LabelingResult result = labeler->label(image);
+
+  // 3. Use the labels.
+  std::cout << "input (" << image.rows() << "x" << image.cols() << "):\n"
+            << to_ascii(image) << '\n'
+            << "components: " << result.num_components << '\n'
+            << to_ascii(result.labels) << '\n';
+
+  const auto stats =
+      analysis::compute_stats(result.labels, result.num_components);
+  std::cout << "largest component: " << stats.largest_area() << " px, mean "
+            << stats.mean_area() << " px\n"
+            << "phases [ms]: scan=" << result.timings.scan_ms
+            << " merge=" << result.timings.merge_ms
+            << " flatten=" << result.timings.flatten_ms
+            << " relabel=" << result.timings.relabel_ms << '\n';
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "analysis/component_stats.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace paremsp::analysis {
+
+std::int64_t ComponentStats::total_foreground() const noexcept {
+  std::int64_t sum = 0;
+  for (const auto& c : components) sum += c.area;
+  return sum;
+}
+
+std::int64_t ComponentStats::largest_area() const noexcept {
+  std::int64_t best = 0;
+  for (const auto& c : components) best = std::max(best, c.area);
+  return best;
+}
+
+double ComponentStats::mean_area() const noexcept {
+  if (components.empty()) return 0.0;
+  return static_cast<double>(total_foreground()) /
+         static_cast<double>(components.size());
+}
+
+ComponentStats compute_stats(const LabelImage& labels, Label num_components) {
+  PAREMSP_REQUIRE(num_components >= 0, "component count must be >= 0");
+
+  ComponentStats stats;
+  stats.components.resize(static_cast<std::size_t>(num_components));
+  for (Label l = 0; l < num_components; ++l) {
+    auto& info = stats.components[static_cast<std::size_t>(l)];
+    info.label = l + 1;
+    info.bbox = BoundingBox{labels.rows(), labels.cols(), -1, -1};
+  }
+
+  std::vector<double> row_sum(static_cast<std::size_t>(num_components), 0.0);
+  std::vector<double> col_sum(static_cast<std::size_t>(num_components), 0.0);
+
+  for (Coord r = 0; r < labels.rows(); ++r) {
+    for (Coord c = 0; c < labels.cols(); ++c) {
+      const Label l = labels(r, c);
+      if (l == 0) continue;
+      PAREMSP_REQUIRE(l >= 1 && l <= num_components,
+                      "label outside [0, num_components]");
+      auto& info = stats.components[static_cast<std::size_t>(l - 1)];
+      ++info.area;
+      info.bbox.row_min = std::min(info.bbox.row_min, r);
+      info.bbox.col_min = std::min(info.bbox.col_min, c);
+      info.bbox.row_max = std::max(info.bbox.row_max, r);
+      info.bbox.col_max = std::max(info.bbox.col_max, c);
+      row_sum[static_cast<std::size_t>(l - 1)] += r;
+      col_sum[static_cast<std::size_t>(l - 1)] += c;
+    }
+  }
+
+  for (Label l = 0; l < num_components; ++l) {
+    auto& info = stats.components[static_cast<std::size_t>(l)];
+    PAREMSP_REQUIRE(info.area > 0,
+                    "labeling claims a component with no pixels");
+    info.centroid_row =
+        row_sum[static_cast<std::size_t>(l)] / static_cast<double>(info.area);
+    info.centroid_col =
+        col_sum[static_cast<std::size_t>(l)] / static_cast<double>(info.area);
+  }
+  return stats;
+}
+
+std::vector<std::int64_t> area_histogram(const ComponentStats& stats) {
+  std::vector<std::int64_t> bins;
+  for (const auto& c : stats.components) {
+    std::size_t bin = 0;
+    std::int64_t edge = 2;
+    while (c.area >= edge) {
+      ++bin;
+      edge *= 2;
+    }
+    if (bins.size() <= bin) bins.resize(bin + 1, 0);
+    ++bins[bin];
+  }
+  return bins;
+}
+
+}  // namespace paremsp::analysis

@@ -1,0 +1,99 @@
+#include "analysis/contours.hpp"
+
+#include <array>
+
+#include "common/contracts.hpp"
+
+namespace paremsp::analysis {
+
+namespace {
+
+// Clockwise Moore neighborhood starting at North.
+constexpr std::array<std::pair<Coord, Coord>, 8> kClockwise{{
+    {-1, 0},   // 0 N
+    {-1, 1},   // 1 NE
+    {0, 1},    // 2 E
+    {1, 1},    // 3 SE
+    {1, 0},    // 4 S
+    {1, -1},   // 5 SW
+    {0, -1},   // 6 W
+    {-1, -1},  // 7 NW
+}};
+
+}  // namespace
+
+std::vector<Contour> outer_contours(const LabelImage& labels,
+                                    Label num_components) {
+  PAREMSP_REQUIRE(num_components >= 0, "component count must be >= 0");
+  std::vector<Contour> contours(static_cast<std::size_t>(num_components));
+  if (num_components == 0) return contours;
+
+  const Coord rows = labels.rows();
+  const Coord cols = labels.cols();
+
+  // Raster-first pixel of each component (the tracing start: its W, NW,
+  // N, NE neighbors cannot belong to the component).
+  std::vector<std::uint8_t> found(static_cast<std::size_t>(num_components),
+                                  0);
+  Label remaining = num_components;
+  for (Coord r = 0; r < rows && remaining > 0; ++r) {
+    for (Coord c = 0; c < cols && remaining > 0; ++c) {
+      const Label l = labels(r, c);
+      if (l == 0) continue;
+      PAREMSP_REQUIRE(l <= num_components,
+                      "label outside [0, num_components]");
+      auto& flag = found[static_cast<std::size_t>(l - 1)];
+      if (flag != 0) continue;
+      flag = 1;
+      --remaining;
+
+      Contour& contour = contours[static_cast<std::size_t>(l - 1)];
+      contour.label = l;
+      contour.points.push_back({r, c});
+
+      const auto inside = [&](Coord nr, Coord nc) {
+        return nr >= 0 && nr < rows && nc >= 0 && nc < cols &&
+               labels(nr, nc) == l;
+      };
+      // First foreground neighbor clockwise from `from`; -1 if isolated.
+      const auto next_dir = [&](Coord pr, Coord pc, int from) {
+        for (int k = 0; k < 8; ++k) {
+          const int cand = (from + k) % 8;
+          const auto [dr, dc] = kClockwise[static_cast<std::size_t>(cand)];
+          if (inside(pr + dr, pc + dc)) return cand;
+        }
+        return -1;
+      };
+
+      // First move: scan clockwise from NW (everything W/NW/N/NE of the
+      // raster-first pixel is outside the component).
+      const int d0 = next_dir(r, c, 7);
+      if (d0 < 0) continue;  // isolated pixel: one-point contour
+
+      // Moore tracing with Jacob's criterion: the walk closes when it
+      // arrives back at the start pixel *and* the next move would repeat
+      // the initial direction. Passing through the start mid-way (pinch
+      // points) continues with the start pushed again. The guard bounds
+      // the loop on (impossible) malformed inputs.
+      Coord cr = r;
+      Coord cc = c;
+      int d = d0;
+      const std::int64_t guard =
+          4 * static_cast<std::int64_t>(rows) * cols + 8;
+      for (std::int64_t step = 0; step < guard; ++step) {
+        cr += kClockwise[static_cast<std::size_t>(d)].first;
+        cc += kClockwise[static_cast<std::size_t>(d)].second;
+        const int nd = next_dir(cr, cc, (d + 6) % 8);
+        PAREMSP_ENSURE(nd >= 0, "contour walk lost the component");
+        if (cr == r && cc == c && nd == d0) break;  // closed the loop
+        contour.points.push_back({cr, cc});
+        d = nd;
+      }
+    }
+  }
+  PAREMSP_REQUIRE(remaining == 0,
+                  "labeling claims components that have no pixels");
+  return contours;
+}
+
+}  // namespace paremsp::analysis

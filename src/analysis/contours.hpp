@@ -1,0 +1,47 @@
+// Outer-contour extraction for labeled components.
+//
+// Contour (boundary) chains are the other classic consumer of CCL output —
+// Chang et al.'s contour-tracing labeler (paper reference [4]) builds the
+// whole algorithm around them, and shape matching / vectorization
+// pipelines start from exactly this representation. This module traces
+// the 8-connected outer boundary of each component with Moore-neighbor
+// tracing and Jacob's stopping criterion.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "image/raster.hpp"
+
+namespace paremsp::analysis {
+
+/// One pixel position on a contour.
+struct ContourPoint {
+  Coord row = 0;
+  Coord col = 0;
+  friend bool operator==(const ContourPoint&, const ContourPoint&) = default;
+};
+
+/// Closed outer boundary of one component, in clockwise order starting
+/// from the component's raster-first pixel. Consecutive points (and the
+/// last-to-first pair) are 8-adjacent; a single-pixel component has a
+/// one-point contour.
+struct Contour {
+  Label label = 0;
+  std::vector<ContourPoint> points;
+
+  /// Number of boundary steps (== points.size() for len >= 2, 0 for a
+  /// single pixel).
+  [[nodiscard]] std::size_t length() const noexcept {
+    return points.size() > 1 ? points.size() : 0;
+  }
+};
+
+/// Trace the outer contour of every component of `labels` (labels must be
+/// consecutive 1..num_components). Holes' inner boundaries are not
+/// traced. O(total contour length + num_components).
+[[nodiscard]] std::vector<Contour> outer_contours(const LabelImage& labels,
+                                                  Label num_components);
+
+}  // namespace paremsp::analysis

@@ -1,0 +1,49 @@
+#include "analysis/equivalence.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace paremsp::analysis {
+
+bool equivalent_labelings(const LabelImage& a, const LabelImage& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+
+  // Build the bijection on the fly in both directions.
+  std::unordered_map<Label, Label> a_to_b;
+  std::unordered_map<Label, Label> b_to_a;
+  const auto pa = a.pixels();
+  const auto pb = b.pixels();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const Label la = pa[i];
+    const Label lb = pb[i];
+    if ((la == 0) != (lb == 0)) return false;  // background must match
+    if (la == 0) continue;
+    if (const auto it = a_to_b.find(la); it != a_to_b.end()) {
+      if (it->second != lb) return false;
+    } else {
+      a_to_b.emplace(la, lb);
+    }
+    if (const auto it = b_to_a.find(lb); it != b_to_a.end()) {
+      if (it->second != la) return false;
+    } else {
+      b_to_a.emplace(lb, la);
+    }
+  }
+  return true;
+}
+
+Label canonical_relabel(LabelImage& labels) {
+  std::unordered_map<Label, Label> remap;
+  Label next = 0;
+  for (auto& l : labels.pixels()) {
+    if (l == 0) continue;
+    const auto [it, inserted] = remap.emplace(l, next + 1);
+    if (inserted) ++next;
+    l = it->second;
+  }
+  return next;
+}
+
+}  // namespace paremsp::analysis

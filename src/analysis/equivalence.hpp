@@ -1,0 +1,25 @@
+// Labeling comparison and canonicalization.
+//
+// Different CCL algorithms may number the same components differently
+// (raster-order vs two-line-scan-order numbering), so tests compare
+// labelings *up to a label bijection*; canonical_relabel produces the
+// raster-first-appearance numbering so exact comparison is also possible.
+#pragma once
+
+#include "common/types.hpp"
+#include "image/raster.hpp"
+
+namespace paremsp::analysis {
+
+/// True iff `a` and `b` encode the same partition of the same image:
+/// identical dimensions, identical background, and a one-to-one mapping
+/// between their label sets that converts one into the other.
+[[nodiscard]] bool equivalent_labelings(const LabelImage& a,
+                                        const LabelImage& b);
+
+/// Renumber labels to consecutive 1..n in order of first appearance in
+/// raster (row-major) order. Returns the number of components. After this,
+/// two equivalent labelings compare equal with operator==.
+Label canonical_relabel(LabelImage& labels);
+
+}  // namespace paremsp::analysis

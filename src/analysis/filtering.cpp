@@ -1,0 +1,112 @@
+#include "analysis/filtering.hpp"
+
+#include <vector>
+
+#include "analysis/component_stats.hpp"
+#include "baselines/flood_fill.hpp"
+#include "common/contracts.hpp"
+
+namespace paremsp::analysis {
+
+BinaryImage extract_component(const LabelImage& labels, Label label) {
+  PAREMSP_REQUIRE(label >= 1, "component labels start at 1");
+  BinaryImage mask(labels.rows(), labels.cols());
+  for (std::int64_t i = 0; i < labels.size(); ++i) {
+    mask.pixels()[static_cast<std::size_t>(i)] =
+        labels.pixels()[static_cast<std::size_t>(i)] == label
+            ? std::uint8_t{1}
+            : std::uint8_t{0};
+  }
+  return mask;
+}
+
+BinaryImage remove_small_components(const BinaryImage& image,
+                                    std::int64_t min_area,
+                                    Connectivity connectivity,
+                                    Label* dropped) {
+  PAREMSP_REQUIRE(min_area >= 0, "min_area must be >= 0");
+  const auto labeled = FloodFillLabeler(connectivity).label(image);
+  std::vector<std::uint8_t> keep(
+      static_cast<std::size_t>(labeled.num_components) + 1, 0);
+
+  const auto stats = compute_stats(labeled.labels, labeled.num_components);
+  Label removed = 0;
+  for (const auto& c : stats.components) {
+    if (c.area >= min_area) {
+      keep[static_cast<std::size_t>(c.label)] = 1;
+    } else {
+      ++removed;
+    }
+  }
+  if (dropped != nullptr) *dropped = removed;
+
+  BinaryImage out(image.rows(), image.cols());
+  for (std::int64_t i = 0; i < image.size(); ++i) {
+    const Label l = labeled.labels.pixels()[static_cast<std::size_t>(i)];
+    out.pixels()[static_cast<std::size_t>(i)] =
+        (l != 0 && keep[static_cast<std::size_t>(l)] != 0) ? std::uint8_t{1}
+                                                           : std::uint8_t{0};
+  }
+  return out;
+}
+
+BinaryImage keep_largest_component(const BinaryImage& image,
+                                   Connectivity connectivity) {
+  const auto labeled = FloodFillLabeler(connectivity).label(image);
+  if (labeled.num_components == 0) {
+    return BinaryImage(image.rows(), image.cols());
+  }
+  const auto stats = compute_stats(labeled.labels, labeled.num_components);
+  Label best = 1;
+  for (const auto& c : stats.components) {
+    if (c.area > stats.components[static_cast<std::size_t>(best - 1)].area) {
+      best = c.label;
+    }
+  }
+  return extract_component(labeled.labels, best);
+}
+
+BinaryImage fill_holes(const BinaryImage& image) {
+  // Label the background under 4-connectivity (the dual of 8-connected
+  // foreground); any background component that touches the border is
+  // "outside", everything else is a hole.
+  BinaryImage background(image.rows(), image.cols());
+  for (std::int64_t i = 0; i < image.size(); ++i) {
+    background.pixels()[static_cast<std::size_t>(i)] =
+        image.pixels()[static_cast<std::size_t>(i)] == 0 ? std::uint8_t{1}
+                                                         : std::uint8_t{0};
+  }
+  const auto labeled = FloodFillLabeler(Connectivity::Four).label(background);
+
+  std::vector<std::uint8_t> outside(
+      static_cast<std::size_t>(labeled.num_components) + 1, 0);
+  const Coord rows = image.rows();
+  const Coord cols = image.cols();
+  auto mark = [&](Coord r, Coord c) {
+    const Label l = labeled.labels(r, c);
+    if (l != 0) outside[static_cast<std::size_t>(l)] = 1;
+  };
+  for (Coord c = 0; c < cols; ++c) {
+    if (rows > 0) {
+      mark(0, c);
+      mark(rows - 1, c);
+    }
+  }
+  for (Coord r = 0; r < rows; ++r) {
+    if (cols > 0) {
+      mark(r, 0);
+      mark(r, cols - 1);
+    }
+  }
+
+  BinaryImage out = image;
+  for (std::int64_t i = 0; i < image.size(); ++i) {
+    const Label l = labeled.labels.pixels()[static_cast<std::size_t>(i)];
+    if (l != 0 && outside[static_cast<std::size_t>(l)] == 0) {
+      out.pixels()[static_cast<std::size_t>(i)] = 1;  // interior hole
+    }
+  }
+  return out;
+}
+
+}  // namespace paremsp::analysis

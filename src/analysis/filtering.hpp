@@ -1,0 +1,35 @@
+// Component-based post-processing — what applications do right after
+// labeling (the paper's motivating pipelines: inspection rejects specks,
+// OCR keeps glyph-sized blobs, terrain analysis extracts large patches).
+#pragma once
+
+#include "common/types.hpp"
+#include "image/connectivity.hpp"
+#include "image/raster.hpp"
+
+namespace paremsp::analysis {
+
+/// Binary mask of the pixels carrying `label` (1 where labels == label).
+[[nodiscard]] BinaryImage extract_component(const LabelImage& labels,
+                                            Label label);
+
+/// Remove every component smaller than `min_area` pixels; returns the
+/// cleaned image and (via out-param) how many components were dropped.
+/// The classic despeckle step.
+[[nodiscard]] BinaryImage remove_small_components(
+    const BinaryImage& image, std::int64_t min_area,
+    Connectivity connectivity = Connectivity::Eight,
+    Label* dropped = nullptr);
+
+/// Keep only the largest component (ties broken by smaller label).
+/// Returns an all-background image when there is no foreground.
+[[nodiscard]] BinaryImage keep_largest_component(
+    const BinaryImage& image,
+    Connectivity connectivity = Connectivity::Eight);
+
+/// Fill background holes: background regions not connected to the image
+/// border become foreground (4-connectivity for background is the dual of
+/// 8-connectivity for foreground, which is what this uses).
+[[nodiscard]] BinaryImage fill_holes(const BinaryImage& image);
+
+}  // namespace paremsp::analysis

@@ -1,0 +1,125 @@
+#include "analysis/shape.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace paremsp::analysis {
+
+std::vector<ShapeInfo> compute_shapes(const LabelImage& labels,
+                                      Label num_components) {
+  PAREMSP_REQUIRE(num_components >= 0, "component count must be >= 0");
+  const Coord rows = labels.rows();
+  const Coord cols = labels.cols();
+  const auto n = static_cast<std::size_t>(num_components);
+
+  std::vector<ShapeInfo> shapes(n);
+  for (Label l = 0; l < num_components; ++l) {
+    shapes[static_cast<std::size_t>(l)].label = l + 1;
+  }
+
+  // First pass: area, crack perimeter, raw first/second moments.
+  std::vector<double> sr(n, 0.0);
+  std::vector<double> sc(n, 0.0);
+  std::vector<double> srr(n, 0.0);
+  std::vector<double> scc(n, 0.0);
+  std::vector<double> src(n, 0.0);
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      const Label l = labels(r, c);
+      if (l == 0) continue;
+      PAREMSP_REQUIRE(l >= 1 && l <= num_components,
+                      "label outside [0, num_components]");
+      auto& s = shapes[static_cast<std::size_t>(l - 1)];
+      ++s.area;
+      // Crack perimeter: each of the 4 pixel edges facing a different
+      // label (or the border) contributes 1.
+      if (r == 0 || labels(r - 1, c) != l) ++s.perimeter;
+      if (r + 1 >= rows || labels(r + 1, c) != l) ++s.perimeter;
+      if (c == 0 || labels(r, c - 1) != l) ++s.perimeter;
+      if (c + 1 >= cols || labels(r, c + 1) != l) ++s.perimeter;
+      const auto i = static_cast<std::size_t>(l - 1);
+      sr[i] += r;
+      sc[i] += c;
+      srr[i] += static_cast<double>(r) * r;
+      scc[i] += static_cast<double>(c) * c;
+      src[i] += static_cast<double>(r) * c;
+    }
+  }
+
+  // Derived features from central moments.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& s = shapes[i];
+    PAREMSP_REQUIRE(s.area > 0, "labeling claims a component with no pixels");
+    const auto a = static_cast<double>(s.area);
+    // Central second moments with the 1/12 point-spread correction for
+    // unit square pixels (keeps single pixels from degenerating).
+    const double mrr = srr[i] / a - (sr[i] / a) * (sr[i] / a) + 1.0 / 12.0;
+    const double mcc = scc[i] / a - (sc[i] / a) * (sc[i] / a) + 1.0 / 12.0;
+    const double mrc = src[i] / a - (sr[i] / a) * (sc[i] / a);
+
+    s.circularity = 4.0 * std::numbers::pi * a /
+                    (static_cast<double>(s.perimeter) *
+                     static_cast<double>(s.perimeter));
+    // Eigenvalues of the covariance matrix [[mrr, mrc], [mrc, mcc]].
+    const double tr = mrr + mcc;
+    const double det = mrr * mcc - mrc * mrc;
+    const double disc = std::sqrt(std::max(tr * tr / 4.0 - det, 0.0));
+    const double lam_max = tr / 2.0 + disc;
+    const double lam_min = std::max(tr / 2.0 - disc, 0.0);
+    s.elongation = lam_max > 0.0 ? std::sqrt(lam_min / lam_max) : 1.0;
+    // Major axis direction; atan2 handles the isotropic case (-> 0).
+    s.orientation = (mrc == 0.0 && mrr <= mcc)
+                        ? 0.0
+                        : 0.5 * std::atan2(2.0 * mrc, mcc - mrr);
+  }
+
+  // Holes via Gray's quad counts: sweep every 2x2 window (border-padded)
+  // and classify it per label present. For 8-connected foreground the
+  // Euler number of one component is (Q1 - Q3 - 2*Qd) / 4 where Q1/Q3
+  // count windows with exactly one/three pixels of the component and Qd
+  // the two diagonal configurations. Purely local, so nested components
+  // (a ring inside another ring's hole) are handled exactly.
+  if (rows > 0 && cols > 0 && num_components > 0) {
+    std::vector<std::int64_t> quad_sum(n, 0);  // accumulates Q1 - Q3 - 2Qd
+    auto lab = [&](Coord r, Coord c) -> Label {
+      return (r < 0 || r >= rows || c < 0 || c >= cols) ? 0 : labels(r, c);
+    };
+    for (Coord r = -1; r < rows; ++r) {
+      for (Coord c = -1; c < cols; ++c) {
+        const Label q[4] = {lab(r, c), lab(r, c + 1), lab(r + 1, c),
+                            lab(r + 1, c + 1)};
+        for (int i = 0; i < 4; ++i) {
+          const Label l = q[i];
+          if (l == 0) continue;
+          // Process each distinct label once per window (the first slot
+          // holding it).
+          bool first = true;
+          for (int j = 0; j < i; ++j) first &= (q[j] != l);
+          if (!first) continue;
+          const int count = (q[0] == l) + (q[1] == l) + (q[2] == l) +
+                            (q[3] == l);
+          auto& acc = quad_sum[static_cast<std::size_t>(l - 1)];
+          if (count == 1) {
+            acc += 1;
+          } else if (count == 3) {
+            acc -= 1;
+          } else if (count == 2 &&
+                     ((q[0] == l && q[3] == l) || (q[1] == l && q[2] == l))) {
+            acc -= 2;  // diagonal pair
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t euler = quad_sum[i] / 4;
+      shapes[i].holes = 1 - euler;
+    }
+  }
+
+  return shapes;
+}
+
+}  // namespace paremsp::analysis

@@ -1,0 +1,145 @@
+#include "analysis/validation.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "unionfind/policies.hpp"
+
+namespace paremsp::analysis {
+
+namespace {
+
+std::string at(Coord r, Coord c) {
+  std::ostringstream os;
+  os << "(" << r << ", " << c << ")";
+  return os.str();
+}
+
+ValidationResult fail(std::string message) {
+  return ValidationResult{false, std::move(message)};
+}
+
+}  // namespace
+
+ValidationResult validate_labeling(const BinaryImage& image,
+                                   const LabelImage& labels,
+                                   Label num_components,
+                                   Connectivity connectivity) {
+  // 1. Dimensions.
+  if (image.rows() != labels.rows() || image.cols() != labels.cols()) {
+    return fail("label plane dimensions do not match the image");
+  }
+  if (num_components < 0) {
+    return fail("negative component count");
+  }
+
+  const Coord rows = image.rows();
+  const Coord cols = image.cols();
+
+  // 2 & 3 (part): background mapping and label range.
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(num_components), 0);
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      const Label l = labels(r, c);
+      if (image(r, c) == 0) {
+        if (l != 0) {
+          return fail("background pixel " + at(r, c) + " has label " +
+                      std::to_string(l));
+        }
+      } else {
+        if (l <= 0 || l > num_components) {
+          return fail("foreground pixel " + at(r, c) + " has label " +
+                      std::to_string(l) + " outside 1.." +
+                      std::to_string(num_components));
+        }
+        seen[static_cast<std::size_t>(l - 1)] = 1;
+      }
+    }
+  }
+  // 3 (rest): every label in 1..num_components is used.
+  for (Label l = 0; l < num_components; ++l) {
+    if (seen[static_cast<std::size_t>(l)] == 0) {
+      return fail("label " + std::to_string(l + 1) +
+                  " is claimed but unused (labels not consecutive)");
+    }
+  }
+
+  // 4: adjacent foreground pixels share a label. Checking the "forward"
+  // half of the neighborhood covers every unordered pair once.
+  const auto offsets = neighbors(connectivity);
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      if (image(r, c) == 0) continue;
+      for (const auto& d : offsets) {
+        if (d.dr < 0 || (d.dr == 0 && d.dc < 0)) continue;
+        const Coord nr = r + d.dr;
+        const Coord nc = c + d.dc;
+        if (!image.in_bounds(nr, nc) || image(nr, nc) == 0) continue;
+        if (labels(r, c) != labels(nr, nc)) {
+          return fail("adjacent foreground pixels " + at(r, c) + " and " +
+                      at(nr, nc) + " have labels " +
+                      std::to_string(labels(r, c)) + " vs " +
+                      std::to_string(labels(nr, nc)));
+        }
+      }
+    }
+  }
+
+  // 5: same label ⇒ connected. Union adjacent foreground pixels with an
+  // independent disjoint-set structure, then demand one set per label.
+  if (rows > 0 && cols > 0) {
+    uf::UfRankPc dsu(static_cast<Label>(rows * cols));
+    auto flat = [cols](Coord r, Coord c) {
+      return static_cast<Label>(r * cols + c);
+    };
+    for (Coord r = 0; r < rows; ++r) {
+      for (Coord c = 0; c < cols; ++c) {
+        if (image(r, c) == 0) continue;
+        for (const auto& d : offsets) {
+          if (d.dr < 0 || (d.dr == 0 && d.dc < 0)) continue;
+          const Coord nr = r + d.dr;
+          const Coord nc = c + d.dc;
+          if (!image.in_bounds(nr, nc) || image(nr, nc) == 0) continue;
+          dsu.unite(flat(r, c), flat(nr, nc));
+        }
+      }
+    }
+    // For each label, all member pixels must share one DSU root.
+    std::vector<Label> root_of_label(static_cast<std::size_t>(num_components),
+                                     -1);
+    for (Coord r = 0; r < rows; ++r) {
+      for (Coord c = 0; c < cols; ++c) {
+        if (image(r, c) == 0) continue;
+        const Label l = labels(r, c);
+        const Label root = dsu.find(flat(r, c));
+        auto& expected = root_of_label[static_cast<std::size_t>(l - 1)];
+        if (expected == -1) {
+          expected = root;
+        } else if (expected != root) {
+          return fail("label " + std::to_string(l) +
+                      " spans more than one connected component (pixel " +
+                      at(r, c) + ")");
+        }
+      }
+    }
+    // Distinct labels must not share a DSU root either (one label per
+    // component) — implied by 4 + connectivity, but cheap to assert.
+    std::vector<Label> label_of_root;
+    label_of_root.assign(static_cast<std::size_t>(rows * cols), 0);
+    for (Label l = 0; l < num_components; ++l) {
+      const Label root = root_of_label[static_cast<std::size_t>(l)];
+      if (root < 0) continue;
+      auto& owner = label_of_root[static_cast<std::size_t>(root)];
+      if (owner != 0 && owner != l + 1) {
+        return fail("labels " + std::to_string(owner) + " and " +
+                    std::to_string(l + 1) +
+                    " both map to one connected component");
+      }
+      owner = l + 1;
+    }
+  }
+
+  return ValidationResult{true, {}};
+}
+
+}  // namespace paremsp::analysis

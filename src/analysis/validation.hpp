@@ -1,0 +1,36 @@
+// Structural validation of a labeling against its source image.
+//
+// This is the library's strongest correctness oracle: it checks every CCL
+// invariant directly from the definition, independently of any labeling
+// algorithm (it uses its own union-find over the image to verify the
+// "same label implies connected" direction). Tests run every labeler's
+// output through this validator.
+#pragma once
+
+#include <string>
+
+#include "image/connectivity.hpp"
+#include "image/raster.hpp"
+
+namespace paremsp::analysis {
+
+/// Result of validate_labeling; empty `error` means the labeling is valid.
+struct ValidationResult {
+  bool ok = false;
+  std::string error;  // human-readable description of the first violation
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Check all CCL invariants of `labels` for `image` under `connectivity`:
+///   1. dimensions match;
+///   2. background pixels are labeled 0, foreground pixels non-zero;
+///   3. labels are exactly the consecutive range 1..num_components;
+///   4. adjacent foreground pixels share the same label;
+///   5. pixels with the same label are connected (single component per
+///      label), verified with an independent union-find.
+[[nodiscard]] ValidationResult validate_labeling(
+    const BinaryImage& image, const LabelImage& labels, Label num_components,
+    Connectivity connectivity = Connectivity::Eight);
+
+}  // namespace paremsp::analysis

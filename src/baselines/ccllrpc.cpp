@@ -1,0 +1,40 @@
+#include "baselines/ccllrpc.hpp"
+
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/scan_one_line.hpp"
+#include "unionfind/rem.hpp"
+
+namespace paremsp {
+
+LabelingResult CcllrpcLabeler::label(const BinaryImage& image) const {
+  const WallTimer total;
+  LabelingResult result;
+  result.labels = LabelImage(image.rows(), image.cols());
+  if (image.size() == 0) return result;
+
+  std::vector<Label> p(static_cast<std::size_t>(image.size()) + 1);
+
+  WallTimer phase;
+  WuEquiv eq(p);
+  const Label count = scan_one_line(image, result.labels, eq, connectivity_);
+  result.timings.scan_ms = phase.elapsed_ms();
+
+  // Wu's union-find also keeps p[i] <= i, so Algorithm 3's FLATTEN applies
+  // unchanged (this is what makes the CCLLRPC/CCLREMSP comparison isolate
+  // the union-find implementation).
+  phase.reset();
+  result.num_components = uf::rem_flatten(p.data(), count);
+  result.timings.flatten_ms = phase.elapsed_ms();
+
+  phase.reset();
+  for (Label& l : result.labels.pixels()) {
+    if (l != 0) l = p[l];
+  }
+  result.timings.relabel_ms = phase.elapsed_ms();
+  result.timings.total_ms = total.elapsed_ms();
+  return result;
+}
+
+}  // namespace paremsp

@@ -1,0 +1,52 @@
+#include "baselines/flood_fill.hpp"
+
+#include <vector>
+
+#include "common/timer.hpp"
+#include "image/connectivity.hpp"
+
+namespace paremsp {
+
+LabelingResult FloodFillLabeler::label(const BinaryImage& image) const {
+  const WallTimer total;
+  LabelingResult result;
+  result.labels = LabelImage(image.rows(), image.cols());
+  if (image.size() == 0) return result;
+
+  const Coord rows = image.rows();
+  const Coord cols = image.cols();
+  LabelImage& labels = result.labels;
+  const auto offsets = neighbors(connectivity_);
+
+  std::vector<std::pair<Coord, Coord>> queue;
+  queue.reserve(1024);
+  Label next_label = 0;
+
+  for (Coord r0 = 0; r0 < rows; ++r0) {
+    for (Coord c0 = 0; c0 < cols; ++c0) {
+      if (image(r0, c0) == 0 || labels(r0, c0) != 0) continue;
+      ++next_label;
+      labels(r0, c0) = next_label;
+      queue.clear();
+      queue.emplace_back(r0, c0);
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const auto [r, c] = queue[head];
+        for (const auto& d : offsets) {
+          const Coord nr = r + d.dr;
+          const Coord nc = c + d.dc;
+          if (!image.in_bounds(nr, nc)) continue;
+          if (image(nr, nc) == 0 || labels(nr, nc) != 0) continue;
+          labels(nr, nc) = next_label;
+          queue.emplace_back(nr, nc);
+        }
+      }
+    }
+  }
+
+  result.num_components = next_label;
+  result.timings.scan_ms = total.elapsed_ms();
+  result.timings.total_ms = result.timings.scan_ms;
+  return result;
+}
+
+}  // namespace paremsp

@@ -1,0 +1,113 @@
+#include "common/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace paremsp {
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  PAREMSP_REQUIRE(!options_.contains(name), "duplicate option: " + name);
+  options_[name] = Option{default_value, help, /*is_flag=*/false};
+  order_.push_back(name);
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  PAREMSP_REQUIRE(!options_.contains(name), "duplicate flag: " + name);
+  options_[name] = Option{"false", help, /*is_flag=*/true};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      return false;
+    }
+    PAREMSP_REQUIRE(arg.rfind("--", 0) == 0, "expected --option, got: " + arg);
+    arg = arg.substr(2);
+
+    std::string name = arg;
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+    }
+
+    const auto it = options_.find(name);
+    PAREMSP_REQUIRE(it != options_.end(), "unknown option: --" + name);
+
+    if (it->second.is_flag) {
+      PAREMSP_REQUIRE(!inline_value || *inline_value == "true" ||
+                          *inline_value == "false",
+                      "flag --" + name + " takes no value");
+      values_[name] = inline_value.value_or("true");
+    } else if (inline_value) {
+      values_[name] = *inline_value;
+    } else {
+      PAREMSP_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
+      values_[name] = argv[++i];
+    }
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = options_.find(name);
+  PAREMSP_REQUIRE(it != options_.end(), "undeclared option: " + name);
+  const auto v = values_.find(name);
+  return v != values_.end() ? v->second : it->second.default_value;
+}
+
+int CliParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const int out = std::stoi(v, &pos);
+    PAREMSP_REQUIRE(pos == v.size(), "--" + name + ": not an integer: " + v);
+    return out;
+  } catch (const PreconditionError&) {
+    throw;
+  } catch (...) {
+    throw PreconditionError("--" + name + ": not an integer: " + v);
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    PAREMSP_REQUIRE(pos == v.size(), "--" + name + ": not a number: " + v);
+    return out;
+  } catch (const PreconditionError&) {
+    throw;
+  } catch (...) {
+    throw PreconditionError("--" + name + ": not a number: " + v);
+  }
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  return get(name) == "true";
+}
+
+std::string CliParser::help() const {
+  std::ostringstream os;
+  os << description_ << "\n\nOptions:\n";
+  for (const auto& name : order_) {
+    const auto& opt = options_.at(name);
+    os << "  --" << name;
+    if (!opt.is_flag) os << " <value>";
+    os << "\n      " << opt.help;
+    if (!opt.is_flag) os << " (default: " << opt.default_value << ')';
+    os << '\n';
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace paremsp

@@ -1,0 +1,52 @@
+// Minimal command-line option parsing for examples and bench binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag`. Unknown
+// options are an error so typos surface immediately; every binary also
+// answers `--help` from the declared option set.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace paremsp {
+
+/// Declarative command-line parser.
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  /// Declare an option with a default value (shown in --help).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Declare a boolean flag (defaults to false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false if --help was requested (help text printed
+  /// to stdout). Throws PreconditionError on unknown/malformed options.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string description_;
+  std::vector<std::string> order_;             // declaration order for help
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;  // parsed values
+};
+
+}  // namespace paremsp

@@ -1,0 +1,64 @@
+// Contract-checking macros used across the library.
+//
+// Following the C++ Core Guidelines (I.5/I.7: state and check pre- and
+// postconditions), every public entry point validates its inputs with
+// PAREMSP_REQUIRE and internal invariants with PAREMSP_ENSURE. Violations
+// throw rather than abort so that tests can assert on them and library
+// users get a recoverable, descriptive error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace paremsp {
+
+/// Thrown when a function precondition is violated (bad caller input).
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant or postcondition fails (library bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* cond, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* cond, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace paremsp
+
+/// Check a caller-facing precondition; throws paremsp::PreconditionError.
+#define PAREMSP_REQUIRE(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::paremsp::detail::throw_precondition(#cond, __FILE__, __LINE__,     \
+                                            (msg));                        \
+    }                                                                      \
+  } while (false)
+
+/// Check an internal invariant; throws paremsp::InvariantError.
+#define PAREMSP_ENSURE(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::paremsp::detail::throw_invariant(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,51 @@
+#include "common/env.hpp"
+
+#include <omp.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+namespace paremsp {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+double env_double(const char* name, double fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(*s, &pos);
+    return pos == s->size() ? v : fallback;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+int env_int(const char* name, int fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(*s, &pos);
+    return pos == s->size() ? v : fallback;
+  } catch (...) {
+    return fallback;
+  }
+}
+
+int hardware_threads() { return omp_get_max_threads(); }
+
+std::string environment_banner() {
+  std::ostringstream os;
+  os << "hardware threads: " << std::thread::hardware_concurrency()
+     << ", omp max threads: " << omp_get_max_threads()
+     << ", omp procs: " << omp_get_num_procs();
+  return os.str();
+}
+
+}  // namespace paremsp

@@ -1,0 +1,28 @@
+// Environment introspection and benchmark knobs.
+//
+// The bench harness reads a handful of PAREMSP_* environment variables so a
+// single binary can run both quick smoke sweeps (default) and paper-scale
+// experiments without recompiling; see DESIGN.md substitution S3.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace paremsp {
+
+/// Value of an environment variable, if set and non-empty.
+std::optional<std::string> env_string(const char* name);
+
+/// Parse an environment variable as double; `fallback` when unset/invalid.
+double env_double(const char* name, double fallback);
+
+/// Parse an environment variable as int; `fallback` when unset/invalid.
+int env_int(const char* name, int fallback);
+
+/// Number of hardware threads OpenMP will use by default.
+int hardware_threads();
+
+/// One-line description of the execution environment for table headers.
+std::string environment_banner();
+
+}  // namespace paremsp

@@ -1,0 +1,115 @@
+// Deterministic pseudo-random number generation.
+//
+// The workload generators and property tests must be reproducible across
+// platforms and standard-library implementations, so we ship our own small
+// generators instead of relying on std::mt19937 distribution details:
+//   * SplitMix64  — seeds other generators, statistically solid for its size.
+//   * Xoshiro256** — the library's workhorse generator (Blackman & Vigna).
+// Both match their reference implementations bit-for-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace paremsp {
+
+/// SplitMix64: tiny, fast, passes BigCrush for its state size. Used mainly
+/// to expand a single 64-bit seed into larger generator states.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: general-purpose 64-bit generator with 256-bit state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm();
+  }
+
+  constexpr std::uint64_t operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform double in [0, 1) using the top 53 bits.
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // 128-bit multiply-shift; rejection loop removes the biased region.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    if (lo >= hi) return lo;
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  constexpr bool next_bool(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace paremsp

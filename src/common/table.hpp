@@ -1,0 +1,54 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints tables shaped like the paper's (Tables II-IV)
+// plus CSV for machine consumption; TextTable handles column alignment so
+// the bench code stays declarative.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace paremsp {
+
+/// Column-aligned text table with an optional title and header row.
+///
+/// Usage:
+///   TextTable t("Table II: sequential algorithms");
+///   t.set_header({"Image type", "", "CCLLRPC", "ARemSP"});
+///   t.add_row({"Aerial", "Min", "2.5", "1.95"});
+///   std::cout << t.to_string();
+class TextTable {
+ public:
+  TextTable() = default;
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal separator line before the next row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing ASCII (| and -), padded columns.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (comma-separated, minimal quoting).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Format a double with fixed precision (helper for callers).
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace paremsp

@@ -1,0 +1,34 @@
+// Wall-clock timing used by benchmarks and the per-phase instrumentation
+// inside the labelers (scan / merge / flatten / relabel timings that
+// reproduce Figure 5a vs 5b of the paper).
+#pragma once
+
+#include <chrono>
+
+namespace paremsp {
+
+/// Monotonic wall-clock stopwatch with millisecond reporting.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed time since construction/reset, in milliseconds.
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    const auto d = clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+  /// Elapsed time in seconds.
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return elapsed_ms() / 1000.0;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace paremsp

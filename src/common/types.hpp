@@ -1,0 +1,16 @@
+// Fundamental types shared across subsystems.
+#pragma once
+
+#include <cstdint>
+
+namespace paremsp {
+
+/// Pixel/component label. 0 is reserved for background; provisional and
+/// final labels are >= 1. 32 bits cover images up to 2^31-1 pixels, double
+/// the paper's largest dataset (465.2 MB) with room to spare.
+using Label = std::int32_t;
+
+/// Pixel coordinate / dimension type (rows, cols fit comfortably).
+using Coord = std::int32_t;
+
+}  // namespace paremsp

@@ -1,0 +1,44 @@
+#include "core/aremsp.hpp"
+
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+#include "core/scan_two_line.hpp"
+#include "unionfind/rem.hpp"
+
+namespace paremsp {
+
+AremspLabeler::AremspLabeler(Connectivity connectivity) {
+  PAREMSP_REQUIRE(connectivity == Connectivity::Eight,
+                  "AREMSP's two-line mask supports 8-connectivity only");
+}
+
+LabelingResult AremspLabeler::label(const BinaryImage& image) const {
+  const WallTimer total;
+  LabelingResult result;
+  result.labels = LabelImage(image.rows(), image.cols());
+  if (image.size() == 0) return result;
+
+  std::vector<Label> p(static_cast<std::size_t>(image.size()) + 1);
+
+  WallTimer phase;
+  RemEquiv eq(p);
+  const Label count =
+      scan_two_line(image, result.labels, eq, 0, image.rows());
+  result.timings.scan_ms = phase.elapsed_ms();
+
+  phase.reset();
+  result.num_components = uf::rem_flatten(p.data(), count);
+  result.timings.flatten_ms = phase.elapsed_ms();
+
+  phase.reset();
+  for (Label& l : result.labels.pixels()) {
+    if (l != 0) l = p[l];
+  }
+  result.timings.relabel_ms = phase.elapsed_ms();
+  result.timings.total_ms = total.elapsed_ms();
+  return result;
+}
+
+}  // namespace paremsp

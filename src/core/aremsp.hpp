@@ -1,0 +1,25 @@
+// AREMSP — the paper's best sequential algorithm (§III-B).
+//
+// Scan strategy of ARUN (two lines / two pixels at a time, He et al. mask)
+// combined with REM's union-find with splicing (Algorithm 5/6 of the
+// paper). The paper measures AREMSP fastest among all sequential
+// algorithms (Table II); PAREMSP is its parallelization.
+#pragma once
+
+#include "core/labeling.hpp"
+
+namespace paremsp {
+
+/// AREMSP labeler. 8-connectivity only (the two-line mask is inherently
+/// 8-connected); constructing is cheap, label() does all the work.
+class AremspLabeler final : public Labeler {
+ public:
+  explicit AremspLabeler(Connectivity connectivity = Connectivity::Eight);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "aremsp";
+  }
+  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
+};
+
+}  // namespace paremsp

@@ -1,0 +1,39 @@
+#include "core/cclremsp.hpp"
+
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/scan_one_line.hpp"
+#include "unionfind/rem.hpp"
+
+namespace paremsp {
+
+LabelingResult CclremspLabeler::label(const BinaryImage& image) const {
+  const WallTimer total;
+  LabelingResult result;
+  result.labels = LabelImage(image.rows(), image.cols());
+  if (image.size() == 0) return result;
+
+  // Provisional labels are at most one per no-prior-neighbor pixel; the
+  // full pixel count is a safe (and simple) upper bound.
+  std::vector<Label> p(static_cast<std::size_t>(image.size()) + 1);
+
+  WallTimer phase;
+  RemEquiv eq(p);
+  const Label count = scan_one_line(image, result.labels, eq, connectivity_);
+  result.timings.scan_ms = phase.elapsed_ms();
+
+  phase.reset();
+  result.num_components = uf::rem_flatten(p.data(), count);
+  result.timings.flatten_ms = phase.elapsed_ms();
+
+  phase.reset();
+  for (Label& l : result.labels.pixels()) {
+    if (l != 0) l = p[l];
+  }
+  result.timings.relabel_ms = phase.elapsed_ms();
+  result.timings.total_ms = total.elapsed_ms();
+  return result;
+}
+
+}  // namespace paremsp

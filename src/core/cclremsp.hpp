@@ -1,0 +1,28 @@
+// CCLREMSP — the paper's first proposed sequential algorithm (§III-A).
+//
+// Scan strategy of CCLLRPC (one line at a time, Wu decision tree) combined
+// with REM's union-find with splicing for the label equivalences
+// (Algorithm 1/4 of the paper).
+#pragma once
+
+#include "core/labeling.hpp"
+
+namespace paremsp {
+
+/// CCLREMSP labeler. Supports 8-connectivity (paper) and 4-connectivity
+/// (extension).
+class CclremspLabeler final : public Labeler {
+ public:
+  explicit CclremspLabeler(Connectivity connectivity = Connectivity::Eight)
+      : connectivity_(connectivity) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "cclremsp";
+  }
+  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
+
+ private:
+  Connectivity connectivity_;
+};
+
+}  // namespace paremsp

@@ -1,0 +1,59 @@
+// Public labeling interface.
+//
+// Every CCL algorithm in the library (the paper's CCLREMSP / AREMSP /
+// PAREMSP and all baselines) implements Labeler, returning a LabelingResult
+// with consecutive final labels 1..num_components (0 = background) and
+// per-phase wall-clock timings. The timings expose exactly the split the
+// paper's Figure 5 plots: Phase-I local scan vs boundary merge vs the
+// analysis (flatten) and final labeling passes.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "image/connectivity.hpp"
+#include "image/raster.hpp"
+
+namespace paremsp {
+
+/// Wall-clock breakdown of one labeling run, in milliseconds.
+struct PhaseTimings {
+  double scan_ms = 0.0;     // Phase I: provisional labels + local equivalences
+  double merge_ms = 0.0;    // boundary merging (parallel algorithms only)
+  double flatten_ms = 0.0;  // analysis phase (FLATTEN / table resolution)
+  double relabel_ms = 0.0;  // final labeling pass
+  double total_ms = 0.0;    // end-to-end, >= sum of the phases
+
+  /// Phase-I time as plotted in Figure 5a ("local").
+  [[nodiscard]] double local_ms() const noexcept { return scan_ms; }
+  /// Local + merge time as plotted in Figure 5b.
+  [[nodiscard]] double local_plus_merge_ms() const noexcept {
+    return scan_ms + merge_ms;
+  }
+};
+
+/// Output of a labeling run.
+struct LabelingResult {
+  LabelImage labels;          // final labels, 0 = background
+  Label num_components = 0;   // labels used: 1..num_components
+  PhaseTimings timings;
+};
+
+/// Abstract connected-component labeler.
+class Labeler {
+ public:
+  virtual ~Labeler() = default;
+
+  /// Stable algorithm identifier (e.g. "aremsp", "paremsp").
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// True if the implementation uses multiple threads.
+  [[nodiscard]] virtual bool is_parallel() const noexcept { return false; }
+
+  /// Label all connected components of `image`.
+  /// Postcondition: result passes analysis::validate_labeling.
+  [[nodiscard]] virtual LabelingResult label(const BinaryImage& image) const = 0;
+};
+
+}  // namespace paremsp

@@ -1,0 +1,191 @@
+#include "core/paremsp.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+#include "core/scan_one_line.hpp"
+#include "core/scan_two_line.hpp"
+#include "unionfind/parallel_rem.hpp"
+#include "unionfind/rem.hpp"
+
+namespace paremsp {
+
+namespace {
+
+/// One thread's slice of the image: rows [row_begin, row_end), provisional
+/// labels (base, base + used].
+struct Chunk {
+  Coord row_begin = 0;
+  Coord row_end = 0;
+  Label base = 0;
+  Label used = 0;
+};
+
+/// Partition rows/2 two-row iterations into `nchunks` contiguous runs
+/// (Algorithm 7 lines 2-7). Chunks start on even rows so the scan-mask
+/// alignment matches the sequential scan; the last chunk absorbs any
+/// remainder pairs plus the odd trailing row.
+std::vector<Chunk> make_chunks(Coord rows, Coord cols, int nchunks) {
+  const Coord pairs = rows / 2;
+  std::vector<Chunk> chunks(static_cast<std::size_t>(nchunks));
+  const Coord per = nchunks > 0 ? pairs / nchunks : 0;
+  const Coord rem = nchunks > 0 ? pairs % nchunks : 0;
+  Coord pair_start = 0;
+  for (int t = 0; t < nchunks; ++t) {
+    const Coord npairs = per + (t < rem ? 1 : 0);
+    auto& ch = chunks[static_cast<std::size_t>(t)];
+    ch.row_begin = 2 * pair_start;
+    ch.row_end = 2 * (pair_start + npairs);
+    ch.base = ch.row_begin * cols;
+    pair_start += npairs;
+  }
+  chunks.back().row_end = rows;  // absorb the odd final row, if any
+  return chunks;
+}
+
+/// Phase II: merge each chunk's top row with the row above (Algorithm 7
+/// lines 10-21). `unite` is one of the backends in parallel_rem.hpp.
+template <class UniteFn>
+void merge_boundary_row(const LabelImage& labels, Coord row, UniteFn&& unite) {
+  const Coord cols = labels.cols();
+  for (Coord c = 0; c < cols; ++c) {
+    const Label e = labels(row, c);
+    if (e == 0) continue;
+    const Label b = labels(row - 1, c);
+    if (b != 0) {
+      // a/c (if foreground) are horizontally adjacent to b in the upper
+      // chunk and therefore already share b's component: one merge does it.
+      unite(e, b);
+    } else {
+      if (c > 0) {
+        const Label a = labels(row - 1, c - 1);
+        if (a != 0) unite(e, a);
+      }
+      if (c + 1 < cols) {
+        const Label cc = labels(row - 1, c + 1);
+        if (cc != 0) unite(e, cc);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ParemspLabeler::ParemspLabeler(ParemspConfig config) : config_(config) {
+  PAREMSP_REQUIRE(config_.threads >= 0, "threads must be >= 0");
+  PAREMSP_REQUIRE(config_.lock_bits >= 0 && config_.lock_bits <= 24,
+                  "lock_bits out of range");
+  if (config_.merge_backend == MergeBackend::LockedRem) {
+    locks_ = std::make_unique<uf::LockPool>(config_.lock_bits);
+  }
+}
+
+LabelingResult ParemspLabeler::label(const BinaryImage& image) const {
+  const WallTimer total;
+  LabelingResult result;
+  result.labels = LabelImage(image.rows(), image.cols());
+  if (image.size() == 0) return result;
+
+  const Coord rows = image.rows();
+  const Coord cols = image.cols();
+  const int requested =
+      config_.threads > 0 ? config_.threads : omp_get_max_threads();
+  // No point in more chunks than two-row iterations.
+  const int nchunks = std::clamp<int>(
+      requested, 1, static_cast<int>(std::max<Coord>(rows / 2, 1)));
+
+  std::vector<Chunk> chunks = make_chunks(rows, cols, nchunks);
+  std::vector<Label> p(static_cast<std::size_t>(image.size()) + 1);
+  LabelImage& labels = result.labels;
+
+  // --- Phase I: concurrent chunk-local scans --------------------------------
+  const bool two_line = config_.scan == ScanStrategy::TwoLine;
+  WallTimer phase;
+#pragma omp parallel for schedule(static, 1) num_threads(nchunks)
+  for (int t = 0; t < nchunks; ++t) {
+    auto& ch = chunks[static_cast<std::size_t>(t)];
+    RemEquiv eq(p, ch.base);
+    if (two_line) {
+      scan_two_line(image, labels, eq, ch.row_begin, ch.row_end);
+    } else {
+      scan_one_line_8(image, labels, eq, ch.row_begin, ch.row_end);
+    }
+    ch.used = eq.used();
+  }
+  result.timings.scan_ms = phase.elapsed_ms();
+
+  // --- Phase II: merge chunk-boundary equivalences -------------------------
+  phase.reset();
+  switch (config_.merge_backend) {
+    case MergeBackend::LockedRem: {
+      uf::LockPool& locks = *locks_;
+#pragma omp parallel for schedule(static, 1) num_threads(nchunks)
+      for (int t = 1; t < nchunks; ++t) {
+        merge_boundary_row(
+            labels, chunks[static_cast<std::size_t>(t)].row_begin,
+            [&](Label x, Label y) {
+              uf::locked_unite(p.data(), locks, x, y);
+            });
+      }
+      break;
+    }
+    case MergeBackend::CasRem: {
+#pragma omp parallel for schedule(static, 1) num_threads(nchunks)
+      for (int t = 1; t < nchunks; ++t) {
+        merge_boundary_row(
+            labels, chunks[static_cast<std::size_t>(t)].row_begin,
+            [&](Label x, Label y) { uf::cas_unite(p.data(), x, y); });
+      }
+      break;
+    }
+    case MergeBackend::Sequential: {
+      for (int t = 1; t < nchunks; ++t) {
+        merge_boundary_row(
+            labels, chunks[static_cast<std::size_t>(t)].row_begin,
+            [&](Label x, Label y) { uf::rem_unite(p.data(), x, y); });
+      }
+      break;
+    }
+  }
+  result.timings.merge_ms = phase.elapsed_ms();
+
+  // --- Analysis: FLATTEN over each chunk's used label range ----------------
+  // Ranges are visited in increasing base order, so every parent (always a
+  // smaller used label) is resolved before its children; final labels come
+  // out consecutive across chunks exactly as in the sequential algorithm.
+  phase.reset();
+  Label k = 0;
+  for (const auto& ch : chunks) {
+    const Label lo = ch.base + 1;
+    const Label hi = ch.base + ch.used;
+    for (Label i = lo; i <= hi; ++i) {
+      if (p[i] < i) {
+        p[i] = p[p[i]];
+      } else {
+        p[i] = ++k;
+      }
+    }
+  }
+  result.num_components = k;
+  result.timings.flatten_ms = phase.elapsed_ms();
+
+  // --- Final labeling pass --------------------------------------------------
+  phase.reset();
+  {
+    const std::int64_t n = labels.size();
+    Label* lp = labels.pixels().data();
+#pragma omp parallel for schedule(static) num_threads(nchunks)
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (lp[i] != 0) lp[i] = p[lp[i]];
+    }
+  }
+  result.timings.relabel_ms = phase.elapsed_ms();
+  result.timings.total_ms = total.elapsed_ms();
+  return result;
+}
+
+}  // namespace paremsp

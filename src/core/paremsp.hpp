@@ -1,0 +1,86 @@
+// PAREMSP — the paper's parallel two-pass CCL algorithm (§IV, Algorithm 7).
+//
+// The image is divided row-wise into one chunk of two-row iterations per
+// thread. Phase I runs the AREMSP scan on every chunk concurrently, with
+// per-chunk label bases (first_row * cols) so label ranges never collide.
+// Phase II re-establishes the equivalences suppressed at chunk boundaries
+// by running the parallel REM merger (Algorithm 8) over each chunk's top
+// row against the row above it. FLATTEN then assigns consecutive final
+// labels, and a parallel pass rewrites the label plane.
+//
+// The final labeling is identical for every thread count (and identical to
+// sequential AREMSP): component roots are provisional-label *minima* under
+// REM, and the relative order of component minima is invariant under
+// chunking (see DESIGN.md §3); the test suite asserts this bit-for-bit.
+#pragma once
+
+#include <memory>
+
+#include "core/labeling.hpp"
+#include "unionfind/lock_pool.hpp"
+
+namespace paremsp {
+
+/// How Phase II applies the boundary equivalences.
+enum class MergeBackend {
+  LockedRem,   // Algorithm 8: striped locks, unlocked splices (default)
+  CasRem,      // lock-free compare-and-swap variant (ablation)
+  Sequential,  // serialized rem_unite (ablation lower bound)
+};
+
+[[nodiscard]] constexpr const char* to_string(MergeBackend b) noexcept {
+  switch (b) {
+    case MergeBackend::LockedRem: return "locked";
+    case MergeBackend::CasRem: return "cas";
+    case MergeBackend::Sequential: return "sequential";
+  }
+  return "?";
+}
+
+/// Which scan kernel each chunk runs in Phase I. The paper uses the
+/// two-line ARUN mask; the one-line decision tree is provided for the
+/// scan-strategy ablation (a "parallel CCLREMSP").
+enum class ScanStrategy {
+  TwoLine,  // AREMSP scan (paper Algorithm 6) — the default
+  OneLine,  // CCLREMSP scan (paper Algorithm 4)
+};
+
+[[nodiscard]] constexpr const char* to_string(ScanStrategy s) noexcept {
+  return s == ScanStrategy::TwoLine ? "two-line" : "one-line";
+}
+
+/// PAREMSP tuning knobs.
+struct ParemspConfig {
+  /// Worker threads; 0 means the OpenMP default (omp_get_max_threads()).
+  int threads = 0;
+  /// Boundary-merge implementation.
+  MergeBackend merge_backend = MergeBackend::LockedRem;
+  /// log2 of the striped lock-pool size (LockedRem only).
+  int lock_bits = uf::LockPool::kDefaultBits;
+  /// Phase-I scan kernel.
+  ScanStrategy scan = ScanStrategy::TwoLine;
+};
+
+/// PAREMSP labeler (8-connectivity, like the paper).
+class ParemspLabeler final : public Labeler {
+ public:
+  explicit ParemspLabeler(ParemspConfig config = {});
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "paremsp";
+  }
+  [[nodiscard]] bool is_parallel() const noexcept override { return true; }
+  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
+
+  [[nodiscard]] const ParemspConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ParemspConfig config_;
+  // Created once per labeler (lock init is not free); label() is safe to
+  // call concurrently — the stripes only serialize root updates.
+  std::unique_ptr<uf::LockPool> locks_;
+};
+
+}  // namespace paremsp

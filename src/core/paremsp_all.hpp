@@ -1,0 +1,34 @@
+// Umbrella header: everything a library user typically needs.
+//
+//   #include "core/paremsp_all.hpp"
+//
+//   auto image = paremsp::gen::landcover_like(2048, 2048, /*seed=*/1);
+//   auto labeler = paremsp::make_labeler(paremsp::Algorithm::Paremsp);
+//   auto result = labeler->label(image);
+#pragma once
+
+#include "analysis/component_stats.hpp"
+#include "analysis/contours.hpp"
+#include "analysis/equivalence.hpp"
+#include "analysis/shape.hpp"
+#include "analysis/filtering.hpp"
+#include "analysis/validation.hpp"
+#include "baselines/arun.hpp"
+#include "baselines/ccllrpc.hpp"
+#include "baselines/flood_fill.hpp"
+#include "baselines/parallel_suzuki.hpp"
+#include "baselines/run_he2008.hpp"
+#include "baselines/suzuki.hpp"
+#include "core/aremsp.hpp"
+#include "core/cclremsp.hpp"
+#include "core/grayscale.hpp"
+#include "core/labeling.hpp"
+#include "core/paremsp.hpp"
+#include "core/paremsp_tiled.hpp"
+#include "core/registry.hpp"
+#include "image/ascii.hpp"
+#include "image/connectivity.hpp"
+#include "image/generators.hpp"
+#include "image/pnm_io.hpp"
+#include "image/raster.hpp"
+#include "image/threshold.hpp"

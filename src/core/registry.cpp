@@ -1,0 +1,102 @@
+#include "core/registry.hpp"
+
+#include <array>
+#include <string>
+
+#include "baselines/arun.hpp"
+#include "baselines/ccllrpc.hpp"
+#include "baselines/flood_fill.hpp"
+#include "baselines/parallel_suzuki.hpp"
+#include "baselines/run_he2008.hpp"
+#include "baselines/suzuki.hpp"
+#include "common/contracts.hpp"
+#include "core/aremsp.hpp"
+#include "core/cclremsp.hpp"
+#include "core/paremsp.hpp"
+#include "core/paremsp_tiled.hpp"
+
+namespace paremsp {
+
+namespace {
+
+constexpr std::array<AlgorithmInfo, 10> kCatalog{{
+    {Algorithm::FloodFill, "floodfill",
+     "BFS flood fill (ground-truth oracle)", false, true, false},
+    {Algorithm::Suzuki, "suzuki",
+     "Suzuki 2003 multi-pass with 1-D connection table", false, true, false},
+    {Algorithm::SuzukiParallel, "psuzuki",
+     "chunked parallel multi-pass (after Niknam et al.)", true, true, false},
+    {Algorithm::Run, "run", "He 2008 run-based two-scan (rtable)", false,
+     false, false},
+    {Algorithm::Arun, "arun", "He 2012 two-line two-scan (rtable)", false,
+     false, false},
+    {Algorithm::Ccllrpc, "ccllrpc",
+     "Wu 2009 decision tree + array union-find", false, true, false},
+    {Algorithm::Cclremsp, "cclremsp",
+     "paper: decision tree + REM splicing union-find", false, true, true},
+    {Algorithm::Aremsp, "aremsp",
+     "paper: two-line scan + REM splicing union-find", false, false, true},
+    {Algorithm::Paremsp, "paremsp",
+     "paper: parallel AREMSP (OpenMP, boundary merge)", true, false, true},
+    {Algorithm::ParemspTiled, "paremsp2d",
+     "extension: 2-D tiled PAREMSP", true, false, false},
+}};
+
+}  // namespace
+
+std::span<const AlgorithmInfo> algorithm_catalog() noexcept {
+  return kCatalog;
+}
+
+const AlgorithmInfo& algorithm_info(Algorithm a) {
+  for (const auto& info : kCatalog) {
+    if (info.id == a) return info;
+  }
+  throw PreconditionError("unknown algorithm id");
+}
+
+Algorithm algorithm_from_name(std::string_view name) {
+  for (const auto& info : kCatalog) {
+    if (info.name == name) return info.id;
+  }
+  throw PreconditionError("unknown algorithm name: " + std::string(name));
+}
+
+std::unique_ptr<Labeler> make_labeler(Algorithm algorithm,
+                                      const LabelerOptions& options) {
+  const AlgorithmInfo& info = algorithm_info(algorithm);
+  PAREMSP_REQUIRE(options.connectivity == Connectivity::Eight ||
+                      info.supports_four_connectivity,
+                  std::string(info.name) + " supports 8-connectivity only");
+
+  switch (algorithm) {
+    case Algorithm::FloodFill:
+      return std::make_unique<FloodFillLabeler>(options.connectivity);
+    case Algorithm::Suzuki:
+      return std::make_unique<SuzukiLabeler>(options.connectivity);
+    case Algorithm::SuzukiParallel:
+      return std::make_unique<ParallelSuzukiLabeler>(options.connectivity,
+                                                     options.threads);
+    case Algorithm::Run:
+      return std::make_unique<RunLabeler>(options.connectivity);
+    case Algorithm::Arun:
+      return std::make_unique<ArunLabeler>(options.connectivity);
+    case Algorithm::Ccllrpc:
+      return std::make_unique<CcllrpcLabeler>(options.connectivity);
+    case Algorithm::Cclremsp:
+      return std::make_unique<CclremspLabeler>(options.connectivity);
+    case Algorithm::Aremsp:
+      return std::make_unique<AremspLabeler>(options.connectivity);
+    case Algorithm::Paremsp:
+      return std::make_unique<ParemspLabeler>(ParemspConfig{
+          options.threads, options.merge_backend, options.lock_bits});
+    case Algorithm::ParemspTiled:
+      return std::make_unique<TiledParemspLabeler>(TiledParemspConfig{
+          .threads = options.threads,
+          .merge_backend = options.merge_backend,
+          .lock_bits = options.lock_bits});
+  }
+  throw PreconditionError("unknown algorithm id");
+}
+
+}  // namespace paremsp

@@ -1,0 +1,63 @@
+// Algorithm registry and factory.
+//
+// Benchmarks, examples and tests enumerate algorithms through this one
+// catalog instead of hard-coding constructor calls, so adding an algorithm
+// is a one-line change here and everything downstream picks it up.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/labeling.hpp"
+#include "core/paremsp.hpp"
+
+namespace paremsp {
+
+/// Every labeling algorithm in the library.
+enum class Algorithm {
+  FloodFill,       // BFS oracle (tests)
+  Suzuki,          // multi-pass, 1-D connection table [10]
+  SuzukiParallel,  // chunked parallel multi-pass, after [42]
+  Run,             // He 2008 run-based two-scan [43]
+  Arun,            // He 2012 two-line two-scan [37]
+  Ccllrpc,         // Wu 2009 decision tree + array union-find [36]
+  Cclremsp,        // paper §III-A: decision tree + REMSP
+  Aremsp,          // paper §III-B: two-line scan + REMSP
+  Paremsp,         // paper §IV: parallel AREMSP
+  ParemspTiled,    // extension: 2-D tiled PAREMSP
+};
+
+/// Catalog entry describing one algorithm.
+struct AlgorithmInfo {
+  Algorithm id;
+  std::string_view name;         // stable CLI identifier
+  std::string_view description;  // one-liner for --help / tables
+  bool parallel = false;
+  bool supports_four_connectivity = false;
+  bool proposed_in_paper = false;  // vs baseline / oracle
+};
+
+/// All algorithms, in the order the paper's tables list them (baselines
+/// first, then the proposed ones).
+[[nodiscard]] std::span<const AlgorithmInfo> algorithm_catalog() noexcept;
+
+/// Catalog entry for one algorithm.
+[[nodiscard]] const AlgorithmInfo& algorithm_info(Algorithm a);
+
+/// Parse a CLI name (e.g. "aremsp"); throws PreconditionError if unknown.
+[[nodiscard]] Algorithm algorithm_from_name(std::string_view name);
+
+/// Options accepted by make_labeler (each algorithm uses what applies).
+struct LabelerOptions {
+  Connectivity connectivity = Connectivity::Eight;
+  int threads = 0;                                    // PAREMSP only
+  MergeBackend merge_backend = MergeBackend::LockedRem;  // PAREMSP only
+  int lock_bits = 12;                                 // PAREMSP only
+};
+
+/// Construct a labeler.
+[[nodiscard]] std::unique_ptr<Labeler> make_labeler(
+    Algorithm algorithm, const LabelerOptions& options = {});
+
+}  // namespace paremsp

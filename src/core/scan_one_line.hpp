@@ -1,0 +1,105 @@
+// One-line-at-a-time scan with the CCLLRPC decision tree.
+//
+// Forward scan mask (paper Figure 1a) for the current pixel e at (r, c):
+//
+//        a b c        a = (r-1, c-1)   b = (r-1, c)   c = (r-1, c+1)
+//        d e          d = (r,   c-1)
+//
+// The decision tree (paper Figure 2, Wu et al.) examines on average half
+// the mask: if b is foreground every other neighbor is already equivalent
+// to b through earlier scan steps, so a single copy suffices; otherwise c /
+// a / d are tried in an order that needs at most one merge.
+//
+// Shared by CCLLRPC (WuEquiv) and CCLREMSP (RemEquiv). The 4-connectivity
+// variant (extension; mask reduces to {b, d}) is provided for flood-fill
+// parity testing.
+#pragma once
+
+#include "core/equiv_policies.hpp"
+#include "image/connectivity.hpp"
+#include "image/raster.hpp"
+
+namespace paremsp {
+
+/// Scan Phase of CCLREMSP/CCLLRPC (paper Algorithm 4) over rows
+/// [row_begin, row_end); rows outside the range count as background (used
+/// by the chunked parallel scan, mirroring scan_two_line). Writes
+/// provisional labels into `labels` and equivalences into `eq`. Returns
+/// the number of provisional labels issued.
+template <class Equiv>
+Label scan_one_line_8(const BinaryImage& image, LabelImage& labels,
+                      Equiv& eq, Coord row_begin, Coord row_end) {
+  const Coord cols = image.cols();
+  for (Coord r = row_begin; r < row_end; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      if (image(r, c) == 0) {
+        labels(r, c) = 0;
+        continue;
+      }
+      const bool has_up = r > row_begin;
+      const bool fg_b = has_up && image(r - 1, c) != 0;
+      if (fg_b) {
+        labels(r, c) = eq.copy(labels(r - 1, c));
+        continue;
+      }
+      const bool fg_c = has_up && c + 1 < cols && image(r - 1, c + 1) != 0;
+      const bool fg_a = has_up && c > 0 && image(r - 1, c - 1) != 0;
+      const bool fg_d = c > 0 && image(r, c - 1) != 0;
+      if (fg_c) {
+        if (fg_a) {
+          labels(r, c) = eq.merge(labels(r - 1, c + 1), labels(r - 1, c - 1));
+        } else if (fg_d) {
+          labels(r, c) = eq.merge(labels(r - 1, c + 1), labels(r, c - 1));
+        } else {
+          labels(r, c) = eq.copy(labels(r - 1, c + 1));
+        }
+      } else if (fg_a) {
+        labels(r, c) = eq.copy(labels(r - 1, c - 1));
+      } else if (fg_d) {
+        labels(r, c) = eq.copy(labels(r, c - 1));
+      } else {
+        labels(r, c) = eq.new_label();
+      }
+    }
+  }
+  return eq.used();
+}
+
+/// 4-connectivity variant: the mask is {b = up, d = left}; both foreground
+/// requires one merge.
+template <class Equiv>
+Label scan_one_line_4(const BinaryImage& image, LabelImage& labels,
+                      Equiv& eq, Coord row_begin, Coord row_end) {
+  const Coord cols = image.cols();
+  for (Coord r = row_begin; r < row_end; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      if (image(r, c) == 0) {
+        labels(r, c) = 0;
+        continue;
+      }
+      const bool fg_b = r > row_begin && image(r - 1, c) != 0;
+      const bool fg_d = c > 0 && image(r, c - 1) != 0;
+      if (fg_b && fg_d) {
+        labels(r, c) = eq.merge(labels(r - 1, c), labels(r, c - 1));
+      } else if (fg_b) {
+        labels(r, c) = eq.copy(labels(r - 1, c));
+      } else if (fg_d) {
+        labels(r, c) = eq.copy(labels(r, c - 1));
+      } else {
+        labels(r, c) = eq.new_label();
+      }
+    }
+  }
+  return eq.used();
+}
+
+/// Dispatch on connectivity (full-image scan).
+template <class Equiv>
+Label scan_one_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
+                    Connectivity connectivity) {
+  return connectivity == Connectivity::Eight
+             ? scan_one_line_8(image, labels, eq, 0, image.rows())
+             : scan_one_line_4(image, labels, eq, 0, image.rows());
+}
+
+}  // namespace paremsp

@@ -1,0 +1,77 @@
+#include "image/ascii.hpp"
+
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace paremsp {
+
+BinaryImage binary_from_ascii(std::string_view art, char fg) {
+  // Trim a single leading/trailing newline so raw strings read naturally.
+  if (!art.empty() && art.front() == '\n') art.remove_prefix(1);
+  if (!art.empty() && art.back() == '\n') art.remove_suffix(1);
+
+  std::vector<std::string_view> lines;
+  std::size_t pos = 0;
+  while (pos <= art.size()) {
+    const std::size_t nl = art.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      lines.push_back(art.substr(pos));
+      break;
+    }
+    lines.push_back(art.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  if (lines.size() == 1 && lines[0].empty()) lines.clear();
+
+  const Coord rows = static_cast<Coord>(lines.size());
+  const Coord cols = rows > 0 ? static_cast<Coord>(lines[0].size()) : 0;
+  for (const auto& line : lines) {
+    PAREMSP_REQUIRE(static_cast<Coord>(line.size()) == cols,
+                    "ascii art rows must have equal length");
+  }
+
+  BinaryImage image(rows, cols);
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      image(r, c) = lines[static_cast<std::size_t>(r)]
+                         [static_cast<std::size_t>(c)] == fg
+                        ? std::uint8_t{1}
+                        : std::uint8_t{0};
+    }
+  }
+  return image;
+}
+
+std::string to_ascii(const BinaryImage& image, char fg, char bg) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(image.size()) +
+              static_cast<std::size_t>(image.rows()));
+  for (Coord r = 0; r < image.rows(); ++r) {
+    for (Coord c = 0; c < image.cols(); ++c) {
+      out += image(r, c) != 0 ? fg : bg;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_ascii(const LabelImage& labels) {
+  static constexpr std::string_view palette =
+      "123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(labels.size()) +
+              static_cast<std::size_t>(labels.rows()));
+  for (Coord r = 0; r < labels.rows(); ++r) {
+    for (Coord c = 0; c < labels.cols(); ++c) {
+      const Label l = labels(r, c);
+      out += l == 0 ? '.'
+                    : palette[static_cast<std::size_t>(l - 1) %
+                              palette.size()];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace paremsp

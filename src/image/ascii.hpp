@@ -1,0 +1,28 @@
+// ASCII rendering and parsing of small images.
+//
+// Test fixtures are written as multi-line art strings; examples print their
+// results the same way. Only intended for small images.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "image/raster.hpp"
+
+namespace paremsp {
+
+/// Parse multi-line art into a binary image. `fg` marks foreground; every
+/// other character is background. Rows are newline-separated and must all
+/// have equal length; a leading/trailing newline is ignored.
+[[nodiscard]] BinaryImage binary_from_ascii(std::string_view art,
+                                            char fg = '#');
+
+/// Render a binary image as art (inverse of binary_from_ascii).
+[[nodiscard]] std::string to_ascii(const BinaryImage& image, char fg = '#',
+                                   char bg = '.');
+
+/// Render a label image: background is '.', labels cycle through an
+/// alphanumeric palette (readable for up to dozens of components).
+[[nodiscard]] std::string to_ascii(const LabelImage& labels);
+
+}  // namespace paremsp

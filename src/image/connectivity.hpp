@@ -1,0 +1,42 @@
+// Pixel connectivity definitions.
+//
+// The paper uses 8-connectedness throughout (§III); 4-connectedness is
+// supported by the flood-fill oracle and the one-line-scan labelers as an
+// extension, and rejected with a precondition error by the two-line-scan
+// algorithms whose mask is inherently 8-connected.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace paremsp {
+
+enum class Connectivity { Four = 4, Eight = 8 };
+
+[[nodiscard]] constexpr const char* to_string(Connectivity c) noexcept {
+  return c == Connectivity::Four ? "4-connectivity" : "8-connectivity";
+}
+
+/// Relative (row, col) neighbor offset.
+struct Offset {
+  Coord dr = 0;
+  Coord dc = 0;
+};
+
+inline constexpr std::array<Offset, 4> kFourNeighbors{
+    Offset{-1, 0}, Offset{0, -1}, Offset{0, 1}, Offset{1, 0}};
+
+inline constexpr std::array<Offset, 8> kEightNeighbors{
+    Offset{-1, -1}, Offset{-1, 0}, Offset{-1, 1}, Offset{0, -1},
+    Offset{0, 1},   Offset{1, -1}, Offset{1, 0},  Offset{1, 1}};
+
+/// Neighbor offsets for a connectivity mode.
+[[nodiscard]] inline std::span<const Offset> neighbors(
+    Connectivity c) noexcept {
+  if (c == Connectivity::Four) return kFourNeighbors;
+  return kEightNeighbors;
+}
+
+}  // namespace paremsp

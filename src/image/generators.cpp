@@ -1,0 +1,611 @@
+#include "image/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/prng.hpp"
+
+namespace paremsp::gen {
+
+namespace {
+
+void require_dims(Coord rows, Coord cols) {
+  PAREMSP_REQUIRE(rows >= 0 && cols >= 0, "dimensions must be >= 0");
+}
+
+}  // namespace
+
+// --- Elementary patterns -----------------------------------------------------
+
+BinaryImage uniform_noise(Coord rows, Coord cols, double density,
+                          std::uint64_t seed) {
+  require_dims(rows, cols);
+  PAREMSP_REQUIRE(density >= 0.0 && density <= 1.0,
+                  "density must be in [0, 1]");
+  BinaryImage image(rows, cols);
+  Xoshiro256 rng(seed);
+  for (auto& px : image.pixels()) {
+    px = rng.next_bool(density) ? std::uint8_t{1} : std::uint8_t{0};
+  }
+  return image;
+}
+
+BinaryImage checkerboard(Coord rows, Coord cols, Coord cell) {
+  require_dims(rows, cols);
+  PAREMSP_REQUIRE(cell >= 1, "cell size must be >= 1");
+  BinaryImage image(rows, cols);
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      image(r, c) = static_cast<std::uint8_t>(((r / cell) + (c / cell)) % 2);
+    }
+  }
+  return image;
+}
+
+BinaryImage stripes(Coord rows, Coord cols, Coord period, Coord thickness,
+                    bool vertical) {
+  require_dims(rows, cols);
+  PAREMSP_REQUIRE(period >= 1 && thickness >= 0 && thickness <= period,
+                  "need 0 <= thickness <= period, period >= 1");
+  BinaryImage image(rows, cols);
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      const Coord k = vertical ? c : r;
+      image(r, c) = (k % period) < thickness ? std::uint8_t{1}
+                                             : std::uint8_t{0};
+    }
+  }
+  return image;
+}
+
+BinaryImage diagonal_stripes(Coord rows, Coord cols, Coord period,
+                             Coord thickness) {
+  require_dims(rows, cols);
+  PAREMSP_REQUIRE(period >= 1 && thickness >= 0 && thickness <= period,
+                  "need 0 <= thickness <= period, period >= 1");
+  BinaryImage image(rows, cols);
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      image(r, c) = ((r + c) % period) < thickness ? std::uint8_t{1}
+                                                   : std::uint8_t{0};
+    }
+  }
+  return image;
+}
+
+BinaryImage concentric_rings(Coord rows, Coord cols, Coord ring_width) {
+  require_dims(rows, cols);
+  PAREMSP_REQUIRE(ring_width >= 1, "ring width must be >= 1");
+  BinaryImage image(rows, cols);
+  const Coord cr = rows / 2;
+  const Coord cc = cols / 2;
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      // Chebyshev distance gives square rings; alternate width-on/width-off.
+      const Coord d = std::max(std::abs(r - cr), std::abs(c - cc));
+      image(r, c) =
+          (d / ring_width) % 2 == 0 ? std::uint8_t{1} : std::uint8_t{0};
+    }
+  }
+  return image;
+}
+
+BinaryImage spiral(Coord rows, Coord cols, Coord arm_width, Coord gap) {
+  require_dims(rows, cols);
+  PAREMSP_REQUIRE(arm_width >= 1 && gap >= 1, "arm width and gap must be >= 1");
+  BinaryImage image(rows, cols);
+  if (rows == 0 || cols == 0) return image;
+
+  // Walk a rectangular inward spiral, painting arm_width-thick strokes.
+  const Coord step = arm_width + gap;
+  Coord top = 0;
+  Coord bottom = rows - 1;
+  Coord left = 0;
+  Coord right = cols - 1;
+  auto paint_rows = [&](Coord r0, Coord c0, Coord c1) {
+    for (Coord r = r0; r < std::min<Coord>(r0 + arm_width, rows); ++r) {
+      for (Coord c = std::max<Coord>(c0, 0); c <= std::min(c1, cols - 1); ++c) {
+        if (r >= 0) image(r, c) = 1;
+      }
+    }
+  };
+  auto paint_cols = [&](Coord c0, Coord r0, Coord r1) {
+    for (Coord c = c0; c < std::min<Coord>(c0 + arm_width, cols); ++c) {
+      for (Coord r = std::max<Coord>(r0, 0); r <= std::min(r1, rows - 1); ++r) {
+        if (c >= 0) image(r, c) = 1;
+      }
+    }
+  };
+  bool first = true;
+  while (top <= bottom && left <= right) {
+    paint_rows(top, first ? left : left - gap - arm_width, right);
+    first = false;
+    paint_cols(right - arm_width + 1, top, bottom);
+    if (bottom - arm_width + 1 > top) {
+      paint_rows(bottom - arm_width + 1, left, right);
+    }
+    if (left + arm_width - 1 < right) {
+      paint_cols(left, top + step, bottom);
+    }
+    top += step;
+    bottom -= step;
+    left += step;
+    right -= step;
+  }
+  return image;
+}
+
+BinaryImage maze(Coord rows, Coord cols, std::uint64_t seed) {
+  require_dims(rows, cols);
+  // Cells live on odd coordinates; walls on even. Carve with a recursive
+  // backtracker (iterative stack) so corridors form one spanning tree.
+  BinaryImage image(rows, cols, 1);  // start fully walled
+  if (rows < 3 || cols < 3) return image;
+
+  const Coord cell_rows = (rows - 1) / 2;
+  const Coord cell_cols = (cols - 1) / 2;
+  auto cell_px = [&](Coord cr, Coord cc) {
+    return std::pair<Coord, Coord>{2 * cr + 1, 2 * cc + 1};
+  };
+
+  std::vector<std::uint8_t> visited(
+      static_cast<std::size_t>(cell_rows) * cell_cols, 0);
+  auto idx = [&](Coord cr, Coord cc) {
+    return static_cast<std::size_t>(cr) * cell_cols + cc;
+  };
+
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<Coord, Coord>> stack{{0, 0}};
+  visited[idx(0, 0)] = 1;
+  {
+    const auto [pr, pc] = cell_px(0, 0);
+    image(pr, pc) = 0;
+  }
+
+  constexpr Coord dr[4] = {-1, 1, 0, 0};
+  constexpr Coord dc[4] = {0, 0, -1, 1};
+  while (!stack.empty()) {
+    const auto [cr, cc] = stack.back();
+    int order[4] = {0, 1, 2, 3};
+    for (int i = 3; i > 0; --i) {
+      std::swap(order[i],
+                order[rng.next_below(static_cast<std::uint64_t>(i) + 1)]);
+    }
+    bool moved = false;
+    for (const int d : order) {
+      const Coord nr = cr + dr[d];
+      const Coord nc = cc + dc[d];
+      if (nr < 0 || nr >= cell_rows || nc < 0 || nc >= cell_cols) continue;
+      if (visited[idx(nr, nc)] != 0) continue;
+      visited[idx(nr, nc)] = 1;
+      const auto [ar, ac] = cell_px(cr, cc);
+      const auto [br, bc] = cell_px(nr, nc);
+      image((ar + br) / 2, (ac + bc) / 2) = 0;  // knock down the wall
+      image(br, bc) = 0;
+      stack.emplace_back(nr, nc);
+      moved = true;
+      break;
+    }
+    if (!moved) stack.pop_back();
+  }
+  return image;
+}
+
+BinaryImage random_rectangles(Coord rows, Coord cols, int count,
+                              Coord min_side, Coord max_side,
+                              std::uint64_t seed) {
+  require_dims(rows, cols);
+  PAREMSP_REQUIRE(count >= 0, "count must be >= 0");
+  PAREMSP_REQUIRE(min_side >= 1 && min_side <= max_side,
+                  "need 1 <= min_side <= max_side");
+  BinaryImage image(rows, cols);
+  if (rows == 0 || cols == 0) return image;
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const Coord h = static_cast<Coord>(rng.next_in(min_side, max_side));
+    const Coord w = static_cast<Coord>(rng.next_in(min_side, max_side));
+    const Coord r0 = static_cast<Coord>(rng.next_in(0, rows - 1));
+    const Coord c0 = static_cast<Coord>(rng.next_in(0, cols - 1));
+    for (Coord r = r0; r < std::min<Coord>(r0 + h, rows); ++r) {
+      for (Coord c = c0; c < std::min<Coord>(c0 + w, cols); ++c) {
+        image(r, c) = 1;
+      }
+    }
+  }
+  return image;
+}
+
+BinaryImage random_ellipses(Coord rows, Coord cols, int count,
+                            Coord min_radius, Coord max_radius,
+                            std::uint64_t seed) {
+  require_dims(rows, cols);
+  PAREMSP_REQUIRE(count >= 0, "count must be >= 0");
+  PAREMSP_REQUIRE(min_radius >= 1 && min_radius <= max_radius,
+                  "need 1 <= min_radius <= max_radius");
+  BinaryImage image(rows, cols);
+  if (rows == 0 || cols == 0) return image;
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const Coord ra = static_cast<Coord>(rng.next_in(min_radius, max_radius));
+    const Coord rb = static_cast<Coord>(rng.next_in(min_radius, max_radius));
+    const Coord cr = static_cast<Coord>(rng.next_in(0, rows - 1));
+    const Coord cc = static_cast<Coord>(rng.next_in(0, cols - 1));
+    const double a2 = static_cast<double>(ra) * ra;
+    const double b2 = static_cast<double>(rb) * rb;
+    for (Coord r = std::max<Coord>(cr - ra, 0);
+         r <= std::min<Coord>(cr + ra, rows - 1); ++r) {
+      for (Coord c = std::max<Coord>(cc - rb, 0);
+           c <= std::min<Coord>(cc + rb, cols - 1); ++c) {
+        const double dr2 = static_cast<double>(r - cr) * (r - cr);
+        const double dc2 = static_cast<double>(c - cc) * (c - cc);
+        if (dr2 / a2 + dc2 / b2 <= 1.0) image(r, c) = 1;
+      }
+    }
+  }
+  return image;
+}
+
+// --- 5x7 font ---------------------------------------------------------------
+
+namespace {
+
+// Each glyph is 7 rows of 5 bits, MSB = leftmost column.
+struct Glyph {
+  char ch;
+  std::uint8_t rows[7];
+};
+
+constexpr Glyph kFont[] = {
+    {' ', {0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}},
+    {'A', {0x0E, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11}},
+    {'B', {0x1E, 0x11, 0x11, 0x1E, 0x11, 0x11, 0x1E}},
+    {'C', {0x0E, 0x11, 0x10, 0x10, 0x10, 0x11, 0x0E}},
+    {'D', {0x1E, 0x11, 0x11, 0x11, 0x11, 0x11, 0x1E}},
+    {'E', {0x1F, 0x10, 0x10, 0x1E, 0x10, 0x10, 0x1F}},
+    {'F', {0x1F, 0x10, 0x10, 0x1E, 0x10, 0x10, 0x10}},
+    {'G', {0x0E, 0x11, 0x10, 0x17, 0x11, 0x11, 0x0F}},
+    {'H', {0x11, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11}},
+    {'I', {0x0E, 0x04, 0x04, 0x04, 0x04, 0x04, 0x0E}},
+    {'J', {0x07, 0x02, 0x02, 0x02, 0x02, 0x12, 0x0C}},
+    {'K', {0x11, 0x12, 0x14, 0x18, 0x14, 0x12, 0x11}},
+    {'L', {0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x1F}},
+    {'M', {0x11, 0x1B, 0x15, 0x15, 0x11, 0x11, 0x11}},
+    {'N', {0x11, 0x19, 0x15, 0x13, 0x11, 0x11, 0x11}},
+    {'O', {0x0E, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0E}},
+    {'P', {0x1E, 0x11, 0x11, 0x1E, 0x10, 0x10, 0x10}},
+    {'Q', {0x0E, 0x11, 0x11, 0x11, 0x15, 0x12, 0x0D}},
+    {'R', {0x1E, 0x11, 0x11, 0x1E, 0x14, 0x12, 0x11}},
+    {'S', {0x0F, 0x10, 0x10, 0x0E, 0x01, 0x01, 0x1E}},
+    {'T', {0x1F, 0x04, 0x04, 0x04, 0x04, 0x04, 0x04}},
+    {'U', {0x11, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0E}},
+    {'V', {0x11, 0x11, 0x11, 0x11, 0x11, 0x0A, 0x04}},
+    {'W', {0x11, 0x11, 0x11, 0x15, 0x15, 0x1B, 0x11}},
+    {'X', {0x11, 0x11, 0x0A, 0x04, 0x0A, 0x11, 0x11}},
+    {'Y', {0x11, 0x11, 0x0A, 0x04, 0x04, 0x04, 0x04}},
+    {'Z', {0x1F, 0x01, 0x02, 0x04, 0x08, 0x10, 0x1F}},
+    {'0', {0x0E, 0x11, 0x13, 0x15, 0x19, 0x11, 0x0E}},
+    {'1', {0x04, 0x0C, 0x04, 0x04, 0x04, 0x04, 0x0E}},
+    {'2', {0x0E, 0x11, 0x01, 0x02, 0x04, 0x08, 0x1F}},
+    {'3', {0x1F, 0x02, 0x04, 0x02, 0x01, 0x11, 0x0E}},
+    {'4', {0x02, 0x06, 0x0A, 0x12, 0x1F, 0x02, 0x02}},
+    {'5', {0x1F, 0x10, 0x1E, 0x01, 0x01, 0x11, 0x0E}},
+    {'6', {0x06, 0x08, 0x10, 0x1E, 0x11, 0x11, 0x0E}},
+    {'7', {0x1F, 0x01, 0x02, 0x04, 0x08, 0x08, 0x08}},
+    {'8', {0x0E, 0x11, 0x11, 0x0E, 0x11, 0x11, 0x0E}},
+    {'9', {0x0E, 0x11, 0x11, 0x0F, 0x01, 0x02, 0x0C}},
+    {'.', {0x00, 0x00, 0x00, 0x00, 0x00, 0x0C, 0x0C}},
+    {',', {0x00, 0x00, 0x00, 0x00, 0x0C, 0x04, 0x08}},
+    {'!', {0x04, 0x04, 0x04, 0x04, 0x04, 0x00, 0x04}},
+    {'?', {0x0E, 0x11, 0x01, 0x02, 0x04, 0x00, 0x04}},
+    {'-', {0x00, 0x00, 0x00, 0x1F, 0x00, 0x00, 0x00}},
+    {'+', {0x00, 0x04, 0x04, 0x1F, 0x04, 0x04, 0x00}},
+    {':', {0x00, 0x0C, 0x0C, 0x00, 0x0C, 0x0C, 0x00}},
+};
+
+const Glyph* find_glyph(char ch) {
+  if (ch >= 'a' && ch <= 'z') ch = static_cast<char>(ch - 'a' + 'A');
+  for (const auto& g : kFont) {
+    if (g.ch == ch) return &g;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+BinaryImage text_banner(std::string_view text, Coord scale, Coord margin) {
+  PAREMSP_REQUIRE(scale >= 1, "scale must be >= 1");
+  PAREMSP_REQUIRE(margin >= 0, "margin must be >= 0");
+  constexpr Coord kGlyphW = 5;
+  constexpr Coord kGlyphH = 7;
+  constexpr Coord kSpacing = 1;
+
+  const auto n = static_cast<Coord>(text.size());
+  const Coord cols =
+      2 * margin + (n > 0 ? (n * (kGlyphW + kSpacing) - kSpacing) * scale : 0);
+  const Coord rows = 2 * margin + kGlyphH * scale;
+  BinaryImage image(rows, cols);
+
+  for (Coord i = 0; i < n; ++i) {
+    const Glyph* glyph = find_glyph(text[static_cast<std::size_t>(i)]);
+    if (glyph == nullptr) continue;
+    const Coord x0 = margin + i * (kGlyphW + kSpacing) * scale;
+    for (Coord gr = 0; gr < kGlyphH; ++gr) {
+      for (Coord gc = 0; gc < kGlyphW; ++gc) {
+        if ((glyph->rows[gr] >> (kGlyphW - 1 - gc) & 1) == 0) continue;
+        for (Coord sr = 0; sr < scale; ++sr) {
+          for (Coord sc = 0; sc < scale; ++sc) {
+            image(margin + gr * scale + sr, x0 + gc * scale + sc) = 1;
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+// --- Grayscale sources -------------------------------------------------------
+
+GrayImage plasma(Coord rows, Coord cols, std::uint64_t seed,
+                 double roughness) {
+  require_dims(rows, cols);
+  PAREMSP_REQUIRE(roughness > 0.0 && roughness <= 1.0,
+                  "roughness must be in (0, 1]");
+  if (rows == 0 || cols == 0) return GrayImage(rows, cols);
+
+  // Diamond-square on the smallest 2^k+1 square covering the image.
+  Coord side = 1;
+  while (side + 1 < std::max(rows, cols)) side *= 2;
+  const Coord n = side + 1;
+
+  std::vector<double> grid(static_cast<std::size_t>(n) * n, 0.0);
+  auto g = [&](Coord r, Coord c) -> double& {
+    return grid[static_cast<std::size_t>(r) * n + c];
+  };
+
+  Xoshiro256 rng(seed);
+  auto noise = [&](double amplitude) {
+    return (rng.next_double() * 2.0 - 1.0) * amplitude;
+  };
+
+  g(0, 0) = noise(1.0);
+  g(0, side) = noise(1.0);
+  g(side, 0) = noise(1.0);
+  g(side, side) = noise(1.0);
+
+  double amplitude = 1.0;
+  for (Coord step = side; step >= 2; step /= 2) {
+    const Coord half = step / 2;
+    // Diamond step: centers of squares.
+    for (Coord r = half; r < n; r += step) {
+      for (Coord c = half; c < n; c += step) {
+        const double avg = (g(r - half, c - half) + g(r - half, c + half) +
+                            g(r + half, c - half) + g(r + half, c + half)) /
+                           4.0;
+        g(r, c) = avg + noise(amplitude);
+      }
+    }
+    // Square step: edge midpoints.
+    for (Coord r = 0; r < n; r += half) {
+      for (Coord c = (r / half) % 2 == 0 ? half : 0; c < n; c += step) {
+        double sum = 0.0;
+        int cnt = 0;
+        if (r >= half) { sum += g(r - half, c); ++cnt; }
+        if (r + half < n) { sum += g(r + half, c); ++cnt; }
+        if (c >= half) { sum += g(r, c - half); ++cnt; }
+        if (c + half < n) { sum += g(r, c + half); ++cnt; }
+        g(r, c) = sum / cnt + noise(amplitude);
+      }
+    }
+    amplitude *= roughness;
+  }
+
+  // Normalize the crop to 0..255.
+  double lo = grid[0];
+  double hi = grid[0];
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      lo = std::min(lo, g(r, c));
+      hi = std::max(hi, g(r, c));
+    }
+  }
+  const double scale = hi > lo ? 255.0 / (hi - lo) : 0.0;
+  GrayImage image(rows, cols);
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      image(r, c) = static_cast<std::uint8_t>(
+          std::lround((g(r, c) - lo) * scale));
+    }
+  }
+  return image;
+}
+
+GrayImage gradient(Coord rows, Coord cols, bool horizontal) {
+  require_dims(rows, cols);
+  GrayImage image(rows, cols);
+  if (rows == 0 || cols == 0) return image;
+  const Coord span = horizontal ? std::max<Coord>(cols - 1, 1)
+                                : std::max<Coord>(rows - 1, 1);
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      const Coord k = horizontal ? c : r;
+      image(r, c) = static_cast<std::uint8_t>((255 * k) / span);
+    }
+  }
+  return image;
+}
+
+RgbImage color_test_card(Coord rows, Coord cols, std::uint64_t seed) {
+  require_dims(rows, cols);
+  RgbImage image(rows, cols, Rgb{24, 24, 32});  // dark ground
+  if (rows == 0 || cols == 0) return image;
+
+  constexpr Rgb kPalette[] = {
+      {230, 60, 50},  {60, 180, 80},  {70, 100, 230}, {240, 200, 60},
+      {200, 80, 200}, {80, 210, 210}, {245, 245, 245}};
+
+  Xoshiro256 rng(seed);
+  const int blobs = 6 + static_cast<int>(rng.next_below(6));
+  for (int i = 0; i < blobs; ++i) {
+    const Rgb color = kPalette[rng.next_below(std::size(kPalette))];
+    const Coord ra = static_cast<Coord>(
+        rng.next_in(std::max<Coord>(rows / 12, 2), std::max<Coord>(rows / 5, 3)));
+    const Coord rb = static_cast<Coord>(
+        rng.next_in(std::max<Coord>(cols / 12, 2), std::max<Coord>(cols / 5, 3)));
+    const Coord cr = static_cast<Coord>(rng.next_in(0, rows - 1));
+    const Coord cc = static_cast<Coord>(rng.next_in(0, cols - 1));
+    const double a2 = static_cast<double>(ra) * ra;
+    const double b2 = static_cast<double>(rb) * rb;
+    for (Coord r = std::max<Coord>(cr - ra, 0);
+         r <= std::min<Coord>(cr + ra, rows - 1); ++r) {
+      for (Coord c = std::max<Coord>(cc - rb, 0);
+           c <= std::min<Coord>(cc + rb, cols - 1); ++c) {
+        const double dr2 = static_cast<double>(r - cr) * (r - cr);
+        const double dc2 = static_cast<double>(c - cc) * (c - cc);
+        if (dr2 / a2 + dc2 / b2 <= 1.0) image(r, c) = color;
+      }
+    }
+  }
+  return image;
+}
+
+// --- Dataset-family stand-ins -------------------------------------------------
+
+BinaryImage texture_like(Coord rows, Coord cols, std::uint64_t seed) {
+  // Threshold plasma at its median so foreground density is ~50%, like
+  // binarized natural texture: dense, fine-grained, many components.
+  const GrayImage source = plasma(rows, cols, seed, 0.78);
+  if (source.empty()) return BinaryImage(rows, cols);
+
+  std::vector<std::uint8_t> sorted(source.pixels().begin(),
+                                   source.pixels().end());
+  auto mid = sorted.begin() + sorted.size() / 2;
+  std::nth_element(sorted.begin(), mid, sorted.end());
+  const std::uint8_t median = *mid;
+
+  BinaryImage image(rows, cols);
+  for (Coord r = 0; r < rows; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      image(r, c) = source(r, c) > median ? std::uint8_t{1} : std::uint8_t{0};
+    }
+  }
+  return image;
+}
+
+BinaryImage aerial_like(Coord rows, Coord cols, std::uint64_t seed) {
+  require_dims(rows, cols);
+  BinaryImage image(rows, cols);
+  if (rows == 0 || cols == 0) return image;
+  Xoshiro256 rng(seed);
+
+  // Buildings: clusters of axis-aligned rectangles.
+  const int buildings = std::max(4, static_cast<int>(image.size() / 4096));
+  const Coord bmax = std::max<Coord>(std::min(rows, cols) / 10, 3);
+  {
+    const BinaryImage rects =
+        random_rectangles(rows, cols, buildings, 2, bmax, rng());
+    for (std::int64_t i = 0; i < image.size(); ++i) {
+      image.pixels()[static_cast<std::size_t>(i)] |=
+          rects.pixels()[static_cast<std::size_t>(i)];
+    }
+  }
+  // Road grid: thin horizontal/vertical lines at random offsets.
+  const int roads = 2 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < roads; ++i) {
+    if (rng.next_bool(0.5)) {
+      const Coord r0 = static_cast<Coord>(rng.next_in(0, rows - 1));
+      for (Coord c = 0; c < cols; ++c) image(r0, c) = 1;
+    } else {
+      const Coord c0 = static_cast<Coord>(rng.next_in(0, cols - 1));
+      for (Coord r = 0; r < rows; ++r) image(r, c0) = 1;
+    }
+  }
+  // Vegetation: sparse ellipses.
+  {
+    const int patches = std::max(2, static_cast<int>(image.size() / 16384));
+    const Coord vmax = std::max<Coord>(std::min(rows, cols) / 14, 2);
+    const BinaryImage veg =
+        random_ellipses(rows, cols, patches, 1, vmax, rng());
+    for (std::int64_t i = 0; i < image.size(); ++i) {
+      image.pixels()[static_cast<std::size_t>(i)] |=
+          veg.pixels()[static_cast<std::size_t>(i)];
+    }
+  }
+  // Clutter: 2% salt noise.
+  for (auto& px : image.pixels()) {
+    if (rng.next_bool(0.02)) px = 1;
+  }
+  return image;
+}
+
+BinaryImage misc_like(Coord rows, Coord cols, std::uint64_t seed) {
+  require_dims(rows, cols);
+  BinaryImage image(rows, cols);
+  if (rows == 0 || cols == 0) return image;
+  Xoshiro256 rng(seed);
+
+  auto blend = [&](const BinaryImage& layer) {
+    for (std::int64_t i = 0; i < image.size(); ++i) {
+      image.pixels()[static_cast<std::size_t>(i)] |=
+          layer.pixels()[static_cast<std::size_t>(i)];
+    }
+  };
+
+  // Per-seed random mixture of structured layers.
+  if (rng.next_bool(0.7)) {
+    blend(random_ellipses(rows, cols, 5 + static_cast<int>(rng.next_below(8)),
+                          2, std::max<Coord>(std::min(rows, cols) / 6, 2),
+                          rng()));
+  }
+  if (rng.next_bool(0.7)) {
+    blend(random_rectangles(rows, cols,
+                            4 + static_cast<int>(rng.next_below(8)), 2,
+                            std::max<Coord>(std::min(rows, cols) / 8, 2),
+                            rng()));
+  }
+  if (rng.next_bool(0.4)) {
+    blend(diagonal_stripes(rows, cols,
+                           static_cast<Coord>(rng.next_in(6, 16)),
+                           static_cast<Coord>(rng.next_in(1, 3))));
+  }
+  if (rng.next_bool(0.4)) {
+    blend(concentric_rings(rows, cols,
+                           static_cast<Coord>(rng.next_in(2, 6))));
+  }
+  // Light pepper noise so components have ragged borders.
+  for (auto& px : image.pixels()) {
+    if (rng.next_bool(0.01)) px ^= 1;
+  }
+  return image;
+}
+
+BinaryImage landcover_like(Coord rows, Coord cols, std::uint64_t seed,
+                           int smoothing) {
+  require_dims(rows, cols);
+  PAREMSP_REQUIRE(smoothing >= 0, "smoothing must be >= 0");
+  BinaryImage current = uniform_noise(rows, cols, 0.5, seed);
+  if (rows == 0 || cols == 0) return current;
+
+  // Majority-rule cellular automaton: each step grows coherent patches, the
+  // same large-organic-region statistics as landcover class masks.
+  BinaryImage next(rows, cols);
+  for (int iter = 0; iter < smoothing; ++iter) {
+    for (Coord r = 0; r < rows; ++r) {
+      for (Coord c = 0; c < cols; ++c) {
+        int ones = 0;
+        for (Coord dr = -1; dr <= 1; ++dr) {
+          for (Coord dc = -1; dc <= 1; ++dc) {
+            ones += current.at_or(r + dr, c + dc, 0);
+          }
+        }
+        next(r, c) = ones >= 5 ? std::uint8_t{1} : std::uint8_t{0};
+      }
+    }
+    std::swap(current, next);
+  }
+  return current;
+}
+
+}  // namespace paremsp::gen

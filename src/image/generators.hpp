@@ -1,0 +1,108 @@
+// Synthetic workload generators.
+//
+// The paper evaluates on USC-SIPI Texture/Aerial/Miscellaneous images and
+// US NLCD 2006 landcover rasters, none of which can ship with this
+// repository. These generators synthesize statistically matched stand-ins
+// (DESIGN.md substitution S2) plus a set of structured patterns used as
+// union-find stress tests and fixtures. All generators are deterministic
+// functions of their arguments (including the seed) across platforms.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "image/raster.hpp"
+
+namespace paremsp::gen {
+
+// --- Elementary patterns ---------------------------------------------------
+
+/// I.i.d. Bernoulli(density) pixels. density in [0,1].
+[[nodiscard]] BinaryImage uniform_noise(Coord rows, Coord cols,
+                                        double density, std::uint64_t seed);
+
+/// Checkerboard with `cell`-pixel squares. Under 8-connectivity all
+/// foreground squares meet at corners: a single component (classic
+/// adversarial case for label-equivalence structures).
+[[nodiscard]] BinaryImage checkerboard(Coord rows, Coord cols, Coord cell);
+
+/// Axis-aligned stripes: `thickness` foreground rows/cols every `period`.
+[[nodiscard]] BinaryImage stripes(Coord rows, Coord cols, Coord period,
+                                  Coord thickness, bool vertical);
+
+/// 45-degree diagonal stripes ((r+c) mod period < thickness).
+[[nodiscard]] BinaryImage diagonal_stripes(Coord rows, Coord cols,
+                                           Coord period, Coord thickness);
+
+/// Concentric square rings around the image center, `ring_width` thick with
+/// `ring_width` gaps: many nested components, each crossing every row chunk.
+[[nodiscard]] BinaryImage concentric_rings(Coord rows, Coord cols,
+                                           Coord ring_width);
+
+/// Rectangular spiral of `arm_width` with `gap` spacing: one snaking
+/// component touching almost every chunk boundary — worst case for the
+/// boundary-merge phase.
+[[nodiscard]] BinaryImage spiral(Coord rows, Coord cols, Coord arm_width,
+                                 Coord gap);
+
+/// Perfect maze (recursive backtracker); walls are foreground, so the wall
+/// set is one giant sparse component with long dependency chains.
+[[nodiscard]] BinaryImage maze(Coord rows, Coord cols, std::uint64_t seed);
+
+/// `count` random filled rectangles with sides in [min_side, max_side].
+[[nodiscard]] BinaryImage random_rectangles(Coord rows, Coord cols, int count,
+                                            Coord min_side, Coord max_side,
+                                            std::uint64_t seed);
+
+/// `count` random filled ellipses with radii in [min_radius, max_radius].
+[[nodiscard]] BinaryImage random_ellipses(Coord rows, Coord cols, int count,
+                                          Coord min_radius, Coord max_radius,
+                                          std::uint64_t seed);
+
+/// Render text in a built-in 5x7 font, scaled by `scale`, with a background
+/// margin. Foreground = glyph strokes (supports A-Z, a-z as caps, 0-9,
+/// space, and basic punctuation; unknown characters render as blanks).
+[[nodiscard]] BinaryImage text_banner(std::string_view text, Coord scale = 1,
+                                      Coord margin = 2);
+
+// --- Grayscale sources -----------------------------------------------------
+
+/// Diamond-square fractal ("plasma") noise; `roughness` in (0,1] controls
+/// detail falloff. Natural-texture-like grayscale.
+[[nodiscard]] GrayImage plasma(Coord rows, Coord cols, std::uint64_t seed,
+                               double roughness = 0.55);
+
+/// Linear luminance ramp (horizontal or vertical), 0..255.
+[[nodiscard]] GrayImage gradient(Coord rows, Coord cols, bool horizontal);
+
+/// Smooth multi-hue test card (blobs of distinct colors on a dark ground),
+/// input for the Figure-3 color→gray→binary pipeline.
+[[nodiscard]] RgbImage color_test_card(Coord rows, Coord cols,
+                                       std::uint64_t seed);
+
+// --- Dataset-family stand-ins (substitution S2) -----------------------------
+
+/// USC-SIPI "Texture" stand-in: thresholded plasma noise — dense foreground,
+/// very high component count, fine granularity.
+[[nodiscard]] BinaryImage texture_like(Coord rows, Coord cols,
+                                       std::uint64_t seed);
+
+/// USC-SIPI "Aerial" stand-in: sparse man-made structure — buildings
+/// (rectangles), road grid (thin lines), vegetation (ellipses), plus salt
+/// noise.
+[[nodiscard]] BinaryImage aerial_like(Coord rows, Coord cols,
+                                      std::uint64_t seed);
+
+/// USC-SIPI "Miscellaneous" stand-in: a grab bag of shapes, stripes, rings
+/// and noise patches with per-seed mixture weights.
+[[nodiscard]] BinaryImage misc_like(Coord rows, Coord cols,
+                                    std::uint64_t seed);
+
+/// NLCD 2006 stand-in: cellular-automata-smoothed noise producing large
+/// organic landcover patches; `smoothing` majority-rule iterations control
+/// patch size.
+[[nodiscard]] BinaryImage landcover_like(Coord rows, Coord cols,
+                                         std::uint64_t seed,
+                                         int smoothing = 4);
+
+}  // namespace paremsp::gen

@@ -1,0 +1,301 @@
+#include "image/pnm_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace paremsp {
+
+namespace {
+
+// Skip whitespace and '#' comments, then read one unsigned header token.
+long read_header_int(std::istream& in, const char* what) {
+  while (true) {
+    const int c = in.peek();
+    PAREMSP_REQUIRE(c != std::char_traits<char>::eof(),
+                    std::string("PNM: truncated header reading ") + what);
+    if (c == '#') {
+      in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    } else if (std::isspace(c) != 0) {
+      in.get();
+    } else {
+      break;
+    }
+  }
+  long value = 0;
+  in >> value;
+  PAREMSP_REQUIRE(static_cast<bool>(in) && value >= 0,
+                  std::string("PNM: invalid header value for ") + what);
+  return value;
+}
+
+std::string read_magic(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  PAREMSP_REQUIRE(static_cast<bool>(in), "PNM: missing magic number");
+  return magic;
+}
+
+void expect_single_whitespace(std::istream& in) {
+  const int c = in.get();
+  PAREMSP_REQUIRE(c != std::char_traits<char>::eof() && std::isspace(c) != 0,
+                  "PNM: expected whitespace after header");
+}
+
+template <class Fn>
+void for_header(std::istream& in, const char* m1, const char* m2, Coord& rows,
+                Coord& cols, Fn&& on_magic) {
+  const std::string magic = read_magic(in);
+  PAREMSP_REQUIRE(magic == m1 || magic == m2,
+                  "PNM: unexpected magic number '" + magic + "'");
+  on_magic(magic);
+  const long w = read_header_int(in, "width");
+  const long h = read_header_int(in, "height");
+  PAREMSP_REQUIRE(w <= std::numeric_limits<Coord>::max() &&
+                      h <= std::numeric_limits<Coord>::max(),
+                  "PNM: image dimensions too large");
+  cols = static_cast<Coord>(w);
+  rows = static_cast<Coord>(h);
+}
+
+}  // namespace
+
+// --- PBM -------------------------------------------------------------------
+
+void write_pbm(const BinaryImage& image, std::ostream& out,
+               PnmEncoding encoding) {
+  const Coord rows = image.rows();
+  const Coord cols = image.cols();
+  if (encoding == PnmEncoding::Ascii) {
+    out << "P1\n" << cols << ' ' << rows << '\n';
+    for (Coord r = 0; r < rows; ++r) {
+      for (Coord c = 0; c < cols; ++c) {
+        out << (image(r, c) != 0 ? '1' : '0');
+        out << (c + 1 == cols ? '\n' : ' ');
+      }
+    }
+  } else {
+    out << "P4\n" << cols << ' ' << rows << '\n';
+    const Coord bytes_per_row = (cols + 7) / 8;
+    std::string rowbuf(static_cast<std::size_t>(bytes_per_row), '\0');
+    for (Coord r = 0; r < rows; ++r) {
+      std::fill(rowbuf.begin(), rowbuf.end(), '\0');
+      for (Coord c = 0; c < cols; ++c) {
+        if (image(r, c) != 0) {
+          rowbuf[static_cast<std::size_t>(c / 8)] |=
+              static_cast<char>(0x80 >> (c % 8));
+        }
+      }
+      out.write(rowbuf.data(), bytes_per_row);
+    }
+  }
+  PAREMSP_REQUIRE(static_cast<bool>(out), "PBM: write failed");
+}
+
+BinaryImage read_pbm(std::istream& in) {
+  Coord rows = 0;
+  Coord cols = 0;
+  bool binary = false;
+  for_header(in, "P1", "P4", rows, cols,
+             [&](const std::string& m) { binary = (m == "P4"); });
+
+  BinaryImage image(rows, cols);
+  if (!binary) {
+    for (Coord r = 0; r < rows; ++r) {
+      for (Coord c = 0; c < cols; ++c) {
+        const long v = read_header_int(in, "pixel");
+        PAREMSP_REQUIRE(v == 0 || v == 1, "PBM: pixel must be 0 or 1");
+        image(r, c) = static_cast<std::uint8_t>(v);
+      }
+    }
+  } else {
+    expect_single_whitespace(in);
+    const Coord bytes_per_row = (cols + 7) / 8;
+    std::string rowbuf(static_cast<std::size_t>(bytes_per_row), '\0');
+    for (Coord r = 0; r < rows; ++r) {
+      in.read(rowbuf.data(), bytes_per_row);
+      PAREMSP_REQUIRE(in.gcount() == bytes_per_row, "PBM: truncated data");
+      for (Coord c = 0; c < cols; ++c) {
+        const auto byte = static_cast<unsigned char>(
+            rowbuf[static_cast<std::size_t>(c / 8)]);
+        image(r, c) =
+            static_cast<std::uint8_t>((byte >> (7 - c % 8)) & 1U);
+      }
+    }
+  }
+  return image;
+}
+
+// --- PGM -------------------------------------------------------------------
+
+void write_pgm(const GrayImage& image, std::ostream& out,
+               PnmEncoding encoding) {
+  const Coord rows = image.rows();
+  const Coord cols = image.cols();
+  if (encoding == PnmEncoding::Ascii) {
+    out << "P2\n" << cols << ' ' << rows << "\n255\n";
+    for (Coord r = 0; r < rows; ++r) {
+      for (Coord c = 0; c < cols; ++c) {
+        out << static_cast<int>(image(r, c)) << (c + 1 == cols ? '\n' : ' ');
+      }
+    }
+  } else {
+    out << "P5\n" << cols << ' ' << rows << "\n255\n";
+    for (Coord r = 0; r < rows; ++r) {
+      out.write(reinterpret_cast<const char*>(image.row(r)), cols);
+    }
+  }
+  PAREMSP_REQUIRE(static_cast<bool>(out), "PGM: write failed");
+}
+
+GrayImage read_pgm(std::istream& in) {
+  Coord rows = 0;
+  Coord cols = 0;
+  bool binary = false;
+  for_header(in, "P2", "P5", rows, cols,
+             [&](const std::string& m) { binary = (m == "P5"); });
+  const long maxval = read_header_int(in, "maxval");
+  PAREMSP_REQUIRE(maxval > 0 && maxval <= 255,
+                  "PGM: only maxval <= 255 supported");
+
+  GrayImage image(rows, cols);
+  if (!binary) {
+    for (Coord r = 0; r < rows; ++r) {
+      for (Coord c = 0; c < cols; ++c) {
+        const long v = read_header_int(in, "pixel");
+        PAREMSP_REQUIRE(v <= maxval, "PGM: pixel exceeds maxval");
+        image(r, c) = static_cast<std::uint8_t>(v);
+      }
+    }
+  } else {
+    expect_single_whitespace(in);
+    for (Coord r = 0; r < rows; ++r) {
+      in.read(reinterpret_cast<char*>(image.row(r)), cols);
+      PAREMSP_REQUIRE(in.gcount() == cols, "PGM: truncated data");
+    }
+  }
+  return image;
+}
+
+// --- PPM -------------------------------------------------------------------
+
+void write_ppm(const RgbImage& image, std::ostream& out,
+               PnmEncoding encoding) {
+  const Coord rows = image.rows();
+  const Coord cols = image.cols();
+  if (encoding == PnmEncoding::Ascii) {
+    out << "P3\n" << cols << ' ' << rows << "\n255\n";
+    for (Coord r = 0; r < rows; ++r) {
+      for (Coord c = 0; c < cols; ++c) {
+        const Rgb px = image(r, c);
+        out << static_cast<int>(px.r) << ' ' << static_cast<int>(px.g) << ' '
+            << static_cast<int>(px.b) << (c + 1 == cols ? '\n' : ' ');
+      }
+    }
+  } else {
+    out << "P6\n" << cols << ' ' << rows << "\n255\n";
+    for (Coord r = 0; r < rows; ++r) {
+      for (Coord c = 0; c < cols; ++c) {
+        const Rgb px = image(r, c);
+        const char bytes[3] = {static_cast<char>(px.r),
+                               static_cast<char>(px.g),
+                               static_cast<char>(px.b)};
+        out.write(bytes, 3);
+      }
+    }
+  }
+  PAREMSP_REQUIRE(static_cast<bool>(out), "PPM: write failed");
+}
+
+RgbImage read_ppm(std::istream& in) {
+  Coord rows = 0;
+  Coord cols = 0;
+  bool binary = false;
+  for_header(in, "P3", "P6", rows, cols,
+             [&](const std::string& m) { binary = (m == "P6"); });
+  const long maxval = read_header_int(in, "maxval");
+  PAREMSP_REQUIRE(maxval > 0 && maxval <= 255,
+                  "PPM: only maxval <= 255 supported");
+
+  RgbImage image(rows, cols);
+  if (!binary) {
+    for (Coord r = 0; r < rows; ++r) {
+      for (Coord c = 0; c < cols; ++c) {
+        const long rv = read_header_int(in, "pixel");
+        const long gv = read_header_int(in, "pixel");
+        const long bv = read_header_int(in, "pixel");
+        PAREMSP_REQUIRE(rv <= maxval && gv <= maxval && bv <= maxval,
+                        "PPM: pixel exceeds maxval");
+        image(r, c) = Rgb{static_cast<std::uint8_t>(rv),
+                          static_cast<std::uint8_t>(gv),
+                          static_cast<std::uint8_t>(bv)};
+      }
+    }
+  } else {
+    expect_single_whitespace(in);
+    for (Coord r = 0; r < rows; ++r) {
+      for (Coord c = 0; c < cols; ++c) {
+        char bytes[3];
+        in.read(bytes, 3);
+        PAREMSP_REQUIRE(in.gcount() == 3, "PPM: truncated data");
+        image(r, c) = Rgb{static_cast<std::uint8_t>(bytes[0]),
+                          static_cast<std::uint8_t>(bytes[1]),
+                          static_cast<std::uint8_t>(bytes[2])};
+      }
+    }
+  }
+  return image;
+}
+
+// --- File wrappers ----------------------------------------------------------
+
+namespace {
+
+template <class WriteFn>
+void write_file(const std::filesystem::path& path, WriteFn&& fn) {
+  std::ofstream out(path, std::ios::binary);
+  PAREMSP_REQUIRE(out.is_open(), "cannot open for writing: " + path.string());
+  fn(out);
+}
+
+template <class ReadFn>
+auto read_file(const std::filesystem::path& path, ReadFn&& fn) {
+  std::ifstream in(path, std::ios::binary);
+  PAREMSP_REQUIRE(in.is_open(), "cannot open for reading: " + path.string());
+  return fn(in);
+}
+
+}  // namespace
+
+void write_pbm(const BinaryImage& image, const std::filesystem::path& path,
+               PnmEncoding encoding) {
+  write_file(path, [&](std::ostream& out) { write_pbm(image, out, encoding); });
+}
+
+BinaryImage read_pbm(const std::filesystem::path& path) {
+  return read_file(path, [](std::istream& in) { return read_pbm(in); });
+}
+
+void write_pgm(const GrayImage& image, const std::filesystem::path& path,
+               PnmEncoding encoding) {
+  write_file(path, [&](std::ostream& out) { write_pgm(image, out, encoding); });
+}
+
+GrayImage read_pgm(const std::filesystem::path& path) {
+  return read_file(path, [](std::istream& in) { return read_pgm(in); });
+}
+
+void write_ppm(const RgbImage& image, const std::filesystem::path& path,
+               PnmEncoding encoding) {
+  write_file(path, [&](std::ostream& out) { write_ppm(image, out, encoding); });
+}
+
+RgbImage read_ppm(const std::filesystem::path& path) {
+  return read_file(path, [](std::istream& in) { return read_ppm(in); });
+}
+
+}  // namespace paremsp

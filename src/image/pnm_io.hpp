@@ -1,0 +1,50 @@
+// Netpbm image I/O (PBM for binary, PGM for grayscale, PPM for RGB).
+//
+// Self-contained reader/writer for the classic formats so the library has
+// no external image dependencies:
+//   P1/P4 — PBM bitmap, ASCII / packed binary. PBM's "1" means black; we
+//           map it to foreground, matching the paper's white-object-on-
+//           black convention after im2bw only in value, not display.
+//   P2/P5 — PGM graymap, maxval <= 255.
+//   P3/P6 — PPM pixmap, maxval <= 255.
+// Comments (# ...) and arbitrary whitespace in headers are handled.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "image/raster.hpp"
+
+namespace paremsp {
+
+enum class PnmEncoding { Ascii, Binary };
+
+// --- Stream interface (used by tests) ------------------------------------
+
+void write_pbm(const BinaryImage& image, std::ostream& out,
+               PnmEncoding encoding = PnmEncoding::Binary);
+[[nodiscard]] BinaryImage read_pbm(std::istream& in);
+
+void write_pgm(const GrayImage& image, std::ostream& out,
+               PnmEncoding encoding = PnmEncoding::Binary);
+[[nodiscard]] GrayImage read_pgm(std::istream& in);
+
+void write_ppm(const RgbImage& image, std::ostream& out,
+               PnmEncoding encoding = PnmEncoding::Binary);
+[[nodiscard]] RgbImage read_ppm(std::istream& in);
+
+// --- File interface -------------------------------------------------------
+
+void write_pbm(const BinaryImage& image, const std::filesystem::path& path,
+               PnmEncoding encoding = PnmEncoding::Binary);
+[[nodiscard]] BinaryImage read_pbm(const std::filesystem::path& path);
+
+void write_pgm(const GrayImage& image, const std::filesystem::path& path,
+               PnmEncoding encoding = PnmEncoding::Binary);
+[[nodiscard]] GrayImage read_pgm(const std::filesystem::path& path);
+
+void write_ppm(const RgbImage& image, const std::filesystem::path& path,
+               PnmEncoding encoding = PnmEncoding::Binary);
+[[nodiscard]] RgbImage read_ppm(const std::filesystem::path& path);
+
+}  // namespace paremsp

@@ -1,0 +1,114 @@
+// Generic row-major 2-D raster container.
+//
+// BinaryImage, GrayImage, LabelImage and RgbImage are all instantiations of
+// Raster with distinct tag types, so they share one audited implementation
+// but remain separate types for overload resolution (a label plane is not
+// implicitly a pixel plane).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace paremsp {
+
+/// Row-major 2-D array of T. Rows*cols may be zero (empty raster).
+template <class T, class Tag>
+class Raster {
+ public:
+  using value_type = T;
+
+  Raster() = default;
+
+  Raster(Coord rows, Coord cols, T fill_value = T{})
+      : rows_(rows),
+        cols_(cols),
+        data_(checked_size(rows, cols), fill_value) {}
+
+  [[nodiscard]] Coord rows() const noexcept { return rows_; }
+  [[nodiscard]] Coord cols() const noexcept { return cols_; }
+  [[nodiscard]] std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(rows_) * cols_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] bool in_bounds(Coord r, Coord c) const noexcept {
+    return r >= 0 && r < rows_ && c >= 0 && c < cols_;
+  }
+
+  /// Unchecked element access (hot path; callers guarantee bounds).
+  [[nodiscard]] T operator()(Coord r, Coord c) const noexcept {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] T& operator()(Coord r, Coord c) noexcept {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  /// Bounds-checked access; throws PreconditionError when out of range.
+  [[nodiscard]] T at(Coord r, Coord c) const {
+    PAREMSP_REQUIRE(in_bounds(r, c), "raster index out of bounds");
+    return (*this)(r, c);
+  }
+  [[nodiscard]] T& at(Coord r, Coord c) {
+    PAREMSP_REQUIRE(in_bounds(r, c), "raster index out of bounds");
+    return (*this)(r, c);
+  }
+
+  /// Bounds-safe read: `fallback` outside the raster. The scan kernels use
+  /// this to treat out-of-image (and out-of-chunk) pixels as background.
+  [[nodiscard]] T at_or(Coord r, Coord c, T fallback = T{}) const noexcept {
+    return in_bounds(r, c) ? (*this)(r, c) : fallback;
+  }
+
+  [[nodiscard]] T* row(Coord r) noexcept {
+    return data_.data() +
+           static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+  }
+  [[nodiscard]] const T* row(Coord r) const noexcept {
+    return data_.data() +
+           static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+  }
+
+  [[nodiscard]] std::span<T> pixels() noexcept { return data_; }
+  [[nodiscard]] std::span<const T> pixels() const noexcept { return data_; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  friend bool operator==(const Raster&, const Raster&) = default;
+
+ private:
+  static std::size_t checked_size(Coord rows, Coord cols) {
+    PAREMSP_REQUIRE(rows >= 0 && cols >= 0, "raster dimensions must be >= 0");
+    // Strictly below 2^31: provisional labels span [1, rows*cols] and
+    // Label is a 32-bit signed integer.
+    PAREMSP_REQUIRE(rows == 0 || cols == 0 ||
+                        static_cast<std::int64_t>(rows) * cols <
+                            (static_cast<std::int64_t>(1) << 31),
+                    "raster must stay below 2^31 pixels (Label is 32-bit)");
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+
+  Coord rows_ = 0;
+  Coord cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// 8-bit RGB pixel (used by the Figure-3 color→binary pipeline).
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+  friend bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+using BinaryImage = Raster<std::uint8_t, struct BinaryImageTag>;
+using GrayImage = Raster<std::uint8_t, struct GrayImageTag>;
+using LabelImage = Raster<Label, struct LabelImageTag>;
+using RgbImage = Raster<Rgb, struct RgbImageTag>;
+
+}  // namespace paremsp

@@ -1,0 +1,75 @@
+#include "image/threshold.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace paremsp {
+
+GrayImage rgb_to_gray(const RgbImage& image) {
+  GrayImage gray(image.rows(), image.cols());
+  for (Coord r = 0; r < image.rows(); ++r) {
+    for (Coord c = 0; c < image.cols(); ++c) {
+      const Rgb px = image(r, c);
+      const double y = 0.299 * px.r + 0.587 * px.g + 0.114 * px.b;
+      gray(r, c) = static_cast<std::uint8_t>(std::lround(y));
+    }
+  }
+  return gray;
+}
+
+BinaryImage im2bw(const GrayImage& image, double level) {
+  PAREMSP_REQUIRE(level >= 0.0 && level <= 1.0, "level must be in [0, 1]");
+  // im2bw: BW(x) = 1 iff I(x) > level * 255 (strict, like MATLAB with
+  // uint8 input where the comparison is against level scaled to the range).
+  const double cutoff = level * 255.0;
+  BinaryImage bw(image.rows(), image.cols());
+  for (Coord r = 0; r < image.rows(); ++r) {
+    for (Coord c = 0; c < image.cols(); ++c) {
+      bw(r, c) = static_cast<double>(image(r, c)) > cutoff
+                     ? std::uint8_t{1}
+                     : std::uint8_t{0};
+    }
+  }
+  return bw;
+}
+
+BinaryImage im2bw(const RgbImage& image, double level) {
+  return im2bw(rgb_to_gray(image), level);
+}
+
+double otsu_level(const GrayImage& image) {
+  PAREMSP_REQUIRE(!image.empty(), "otsu_level needs a non-empty image");
+
+  std::array<std::int64_t, 256> hist{};
+  for (const std::uint8_t px : image.pixels()) ++hist[px];
+
+  const auto total = static_cast<double>(image.size());
+  double sum_all = 0.0;
+  for (int i = 0; i < 256; ++i) sum_all += static_cast<double>(i * hist[i]);
+
+  double sum_bg = 0.0;
+  double weight_bg = 0.0;
+  double best_variance = -1.0;
+  int best_threshold = 0;
+
+  for (int t = 0; t < 256; ++t) {
+    weight_bg += static_cast<double>(hist[t]);
+    if (weight_bg == 0.0) continue;
+    const double weight_fg = total - weight_bg;
+    if (weight_fg == 0.0) break;
+    sum_bg += static_cast<double>(t * hist[t]);
+    const double mean_bg = sum_bg / weight_bg;
+    const double mean_fg = (sum_all - sum_bg) / weight_fg;
+    const double diff = mean_bg - mean_fg;
+    const double between = weight_bg * weight_fg * diff * diff;
+    if (between > best_variance) {
+      best_variance = between;
+      best_threshold = t;
+    }
+  }
+  return static_cast<double>(best_threshold) / 255.0;
+}
+
+}  // namespace paremsp

@@ -1,0 +1,31 @@
+// Binarization — the paper's preprocessing step (Figure 3).
+//
+// The paper converts every dataset image with MATLAB's `im2bw(level)` at
+// level 0.5: pixels with luminance greater than the level become 1 (white /
+// foreground), all others 0. This header reproduces that pipeline natively:
+// Rec.601 luma for color→gray (what MATLAB's rgb2gray uses), then the same
+// strict ">" threshold semantics. Otsu's method is provided as an extension
+// for images where a fixed 0.5 level is a poor fit.
+#pragma once
+
+#include "image/raster.hpp"
+
+namespace paremsp {
+
+/// MATLAB rgb2gray: Rec.601 luma, Y = 0.299 R + 0.587 G + 0.114 B,
+/// rounded to nearest integer.
+[[nodiscard]] GrayImage rgb_to_gray(const RgbImage& image);
+
+/// MATLAB im2bw for grayscale input: pixel > level*255 → 1, else 0.
+/// `level` must be in [0, 1].
+[[nodiscard]] BinaryImage im2bw(const GrayImage& image, double level = 0.5);
+
+/// MATLAB im2bw for color input: converts to grayscale first.
+[[nodiscard]] BinaryImage im2bw(const RgbImage& image, double level = 0.5);
+
+/// Otsu's method: histogram-based threshold that maximizes between-class
+/// variance. Returns a level in [0, 1] suitable for im2bw (extension; not
+/// used by the paper, useful for real-world inputs).
+[[nodiscard]] double otsu_level(const GrayImage& image);
+
+}  // namespace paremsp

@@ -1,0 +1,163 @@
+// Policy-based sequential union-find family.
+//
+// Patwary, Blair & Manne ("Experiments on union-find algorithms for the
+// disjoint-set data structure", SEA 2010) — reference [40] of the paper —
+// compare linking rules × path-compression rules and conclude REM with
+// splicing wins in practice. This header reproduces that design space so
+// bench/ablation_unionfind can re-run the comparison on CCL workloads:
+//
+//   linking:      ByIndex (smaller index wins), ByRank, BySize
+//   compression:  None, Full (two-pass), Halving, Splitting
+//
+// ByIndex linking preserves the p[i] <= i invariant that single-pass
+// FLATTEN requires; rank/size linking do not (see DESIGN.md substitution
+// S4), which is exactly why the paper's algorithms use REM instead.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace paremsp::uf {
+
+enum class LinkRule { ByIndex, ByRank, BySize };
+enum class CompressRule { None, Full, Halving, Splitting };
+
+[[nodiscard]] constexpr const char* to_string(LinkRule r) noexcept {
+  switch (r) {
+    case LinkRule::ByIndex: return "index";
+    case LinkRule::ByRank: return "rank";
+    case LinkRule::BySize: return "size";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(CompressRule r) noexcept {
+  switch (r) {
+    case CompressRule::None: return "nocomp";
+    case CompressRule::Full: return "pc";
+    case CompressRule::Halving: return "halve";
+    case CompressRule::Splitting: return "split";
+  }
+  return "?";
+}
+
+/// Sequential disjoint-set forest parameterized by link and compression
+/// policies. Elements are 0..n-1.
+template <LinkRule Link, CompressRule Compress>
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(Label n) { reset(n); }
+
+  void reset(Label n) {
+    PAREMSP_REQUIRE(n >= 0, "set count must be non-negative");
+    parent_.resize(static_cast<std::size_t>(n));
+    for (Label i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+    if constexpr (Link == LinkRule::ByRank) {
+      aux_.assign(static_cast<std::size_t>(n), 0);
+    } else if constexpr (Link == LinkRule::BySize) {
+      aux_.assign(static_cast<std::size_t>(n), 1);
+    }
+  }
+
+  [[nodiscard]] Label size() const noexcept {
+    return static_cast<Label>(parent_.size());
+  }
+
+  /// Find with the configured compression rule (mutating for all rules
+  /// except None, which still leaves the structure untouched).
+  Label find(Label x) {
+    PAREMSP_REQUIRE(x >= 0 && x < size(), "element out of range");
+    Label* p = parent_.data();
+    if constexpr (Compress == CompressRule::None) {
+      while (p[x] != x) x = p[x];
+      return x;
+    } else if constexpr (Compress == CompressRule::Full) {
+      Label root = x;
+      while (p[root] != root) root = p[root];
+      while (p[x] != root) {
+        const Label next = p[x];
+        p[x] = root;
+        x = next;
+      }
+      return root;
+    } else if constexpr (Compress == CompressRule::Halving) {
+      while (p[x] != x) {
+        p[x] = p[p[x]];
+        x = p[x];
+      }
+      return x;
+    } else {  // Splitting
+      while (p[x] != x) {
+        const Label next = p[x];
+        p[x] = p[next];
+        x = next;
+      }
+      return x;
+    }
+  }
+
+  /// Union of the sets containing x and y; returns the surviving root.
+  Label unite(Label x, Label y) {
+    Label rx = find(x);
+    Label ry = find(y);
+    if (rx == ry) return rx;
+    Label* p = parent_.data();
+    if constexpr (Link == LinkRule::ByIndex) {
+      // Smaller index becomes root: keeps p[i] <= i, so FLATTEN applies.
+      if (rx > ry) std::swap(rx, ry);
+      p[ry] = rx;
+      return rx;
+    } else if constexpr (Link == LinkRule::ByRank) {
+      auto& rank = aux_;
+      if (rank[static_cast<std::size_t>(rx)] <
+          rank[static_cast<std::size_t>(ry)]) {
+        std::swap(rx, ry);
+      }
+      p[ry] = rx;
+      if (rank[static_cast<std::size_t>(rx)] ==
+          rank[static_cast<std::size_t>(ry)]) {
+        ++rank[static_cast<std::size_t>(rx)];
+      }
+      return rx;
+    } else {  // BySize
+      auto& sz = aux_;
+      if (sz[static_cast<std::size_t>(rx)] <
+          sz[static_cast<std::size_t>(ry)]) {
+        std::swap(rx, ry);
+      }
+      p[ry] = rx;
+      sz[static_cast<std::size_t>(rx)] += sz[static_cast<std::size_t>(ry)];
+      return rx;
+    }
+  }
+
+  [[nodiscard]] bool same_set(Label x, Label y) {
+    return find(x) == find(y);
+  }
+
+  [[nodiscard]] static std::string name() {
+    return std::string(to_string(Link)) + "+" + to_string(Compress);
+  }
+
+ private:
+  std::vector<Label> parent_;
+  std::vector<Label> aux_;  // rank or size, depending on Link
+};
+
+// The named variants exercised by tests and the ablation bench.
+using UfIndexNoComp = UnionFind<LinkRule::ByIndex, CompressRule::None>;
+using UfIndexPc = UnionFind<LinkRule::ByIndex, CompressRule::Full>;
+using UfIndexHalve = UnionFind<LinkRule::ByIndex, CompressRule::Halving>;
+using UfIndexSplit = UnionFind<LinkRule::ByIndex, CompressRule::Splitting>;
+using UfRankNoComp = UnionFind<LinkRule::ByRank, CompressRule::None>;
+using UfRankPc = UnionFind<LinkRule::ByRank, CompressRule::Full>;
+using UfRankHalve = UnionFind<LinkRule::ByRank, CompressRule::Halving>;
+using UfRankSplit = UnionFind<LinkRule::ByRank, CompressRule::Splitting>;
+using UfSizePc = UnionFind<LinkRule::BySize, CompressRule::Full>;
+
+}  // namespace paremsp::uf

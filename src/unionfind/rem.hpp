@@ -1,0 +1,125 @@
+// REM's union-find with splicing (REMSP) — the paper's Algorithm 2 and 3.
+//
+// Rem's algorithm (Dijkstra 1976, evaluated by Patwary/Blair/Manne 2010 as
+// the fastest union-find in practice) maintains the invariant
+//
+//     p[i] <= i   for every element i,  p[root] == root,
+//
+// i.e. parents never exceed children. `unite` walks both argument chains
+// simultaneously, always advancing the side whose parent is larger, and
+// *splices* subtrees as it goes (each visited node is re-parented to the
+// other side's smaller parent), compressing paths during the union itself —
+// there is no separate find with compression.
+//
+// Because parents only decrease, the final root of every component is its
+// minimum element, and `flatten` (Algorithm 3) can resolve all labels and
+// assign consecutive final labels in one left-to-right pass.
+//
+// The functions below operate on a caller-owned parent array so the CCL
+// scan kernels can run them directly on their provisional-label table; the
+// RemSplice class wraps the same operations as a self-contained container.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace paremsp::uf {
+
+/// Immediate-parent check + splice union (paper Algorithm 2).
+/// Merges the sets containing x and y; returns the root of the united tree
+/// (the smaller of the two original roots).
+/// Requires p[i] <= i for all touched entries (REM invariant).
+inline Label rem_unite(Label* p, Label x, Label y) noexcept {
+  Label rootx = x;
+  Label rooty = y;
+  while (p[rootx] != p[rooty]) {
+    if (p[rootx] > p[rooty]) {
+      if (rootx == p[rootx]) {
+        p[rootx] = p[rooty];
+        return p[rootx];
+      }
+      const Label z = p[rootx];
+      p[rootx] = p[rooty];
+      rootx = z;
+    } else {
+      if (rooty == p[rooty]) {
+        p[rooty] = p[rootx];
+        return p[rootx];
+      }
+      const Label z = p[rooty];
+      p[rooty] = p[rootx];
+      rooty = z;
+    }
+  }
+  return p[rootx];
+}
+
+/// Root of x's tree without modifying the structure.
+inline Label rem_find(const Label* p, Label x) noexcept {
+  while (p[x] != x) x = p[x];
+  return x;
+}
+
+/// Analysis phase (paper Algorithm 3): resolve every label in [1, count]
+/// to its root and replace roots with consecutive final labels 1,2,...
+/// Returns the number of distinct components found.
+/// Requires the REM invariant p[i] <= i (single pass suffices because a
+/// node's parent is always resolved before the node itself).
+inline Label rem_flatten(Label* p, Label count) noexcept {
+  Label k = 0;
+  for (Label i = 1; i <= count; ++i) {
+    if (p[i] < i) {
+      p[i] = p[p[i]];
+    } else {
+      p[i] = ++k;
+    }
+  }
+  return k;
+}
+
+/// Self-contained REM disjoint-set container (used by tests/benches; the
+/// labelers use the free functions on their own arrays).
+class RemSplice {
+ public:
+  RemSplice() = default;
+  explicit RemSplice(Label n) { reset(n); }
+
+  /// Re-initialize with elements 0..n-1, each a singleton.
+  void reset(Label n) {
+    PAREMSP_REQUIRE(n >= 0, "set count must be non-negative");
+    p_.resize(static_cast<std::size_t>(n));
+    for (Label i = 0; i < n; ++i) p_[static_cast<std::size_t>(i)] = i;
+  }
+
+  [[nodiscard]] Label size() const noexcept {
+    return static_cast<Label>(p_.size());
+  }
+
+  Label unite(Label x, Label y) {
+    PAREMSP_REQUIRE(in_range(x) && in_range(y), "element out of range");
+    return rem_unite(p_.data(), x, y);
+  }
+
+  [[nodiscard]] Label find(Label x) const {
+    PAREMSP_REQUIRE(in_range(x), "element out of range");
+    return rem_find(p_.data(), x);
+  }
+
+  [[nodiscard]] bool same_set(Label x, Label y) const {
+    return find(x) == find(y);
+  }
+
+  [[nodiscard]] std::span<const Label> parents() const noexcept { return p_; }
+
+ private:
+  [[nodiscard]] bool in_range(Label x) const noexcept {
+    return x >= 0 && x < size();
+  }
+
+  std::vector<Label> p_;
+};
+
+}  // namespace paremsp::uf

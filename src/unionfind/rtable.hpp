@@ -1,0 +1,113 @@
+// He/Chao/Suzuki equivalence-set structure (rtable / next / tail).
+//
+// Used by the RUN (He 2008, paper reference [43]) and ARUN (He 2012,
+// reference [37]) baselines. Each equivalence set S(r) of provisional
+// labels is kept as a linked list:
+//
+//   rtable[l] — representative (smallest label) of l's set, always fully
+//               resolved, so lookup is O(1) with no find() walk;
+//   next[l]   — next label in l's set, -1 at the end;
+//   tail[r]   — last label of the set represented by r.
+//
+// `resolve(u, v)` merges the larger-representative set into the smaller
+// one by walking its list and rewriting rtable — O(|smaller... merged|)
+// per merge, but cheap in practice because CCL merges are local (He 2008).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+
+namespace paremsp::uf {
+
+/// Equivalence table over provisional labels 1..capacity.
+class EquivalenceTable {
+ public:
+  EquivalenceTable() = default;
+
+  /// Prepare for labels 1..capacity (0 stays background).
+  explicit EquivalenceTable(Label capacity) { reset(capacity); }
+
+  void reset(Label capacity) {
+    PAREMSP_REQUIRE(capacity >= 0, "capacity must be non-negative");
+    const auto n = static_cast<std::size_t>(capacity) + 1;
+    rtable_.assign(n, 0);
+    next_.assign(n, kNone);
+    tail_.assign(n, 0);
+    count_ = 0;
+  }
+
+  /// Register the next provisional label as a fresh singleton set.
+  /// Returns the new label.
+  Label new_label() {
+    const Label l = ++count_;
+    PAREMSP_ENSURE(static_cast<std::size_t>(l) < rtable_.size(),
+                   "label capacity exceeded");
+    rtable_[l] = l;
+    next_[l] = kNone;
+    tail_[l] = l;
+    return l;
+  }
+
+  /// Number of provisional labels issued so far.
+  [[nodiscard]] Label label_count() const noexcept { return count_; }
+
+  /// Fully resolved representative of label l (O(1)).
+  [[nodiscard]] Label representative(Label l) const {
+    PAREMSP_REQUIRE(l >= 1 && l <= count_, "label out of range");
+    return rtable_[l];
+  }
+
+  /// Merge the sets of u and v; returns the surviving representative
+  /// (the smaller of the two). O(size of the absorbed set).
+  Label resolve(Label u, Label v) {
+    PAREMSP_REQUIRE(u >= 1 && u <= count_ && v >= 1 && v <= count_,
+                    "label out of range");
+    Label ru = rtable_[u];
+    Label rv = rtable_[v];
+    if (ru == rv) return ru;
+    if (ru > rv) std::swap(ru, rv);
+    // Relabel every member of S(rv), then append the list to S(ru).
+    for (Label m = rv; m != kNone; m = next_[m]) rtable_[m] = ru;
+    next_[tail_[ru]] = rv;
+    tail_[ru] = tail_[rv];
+    return ru;
+  }
+
+  /// Raw resolved table, indexed by provisional label (entry 0 unused).
+  /// After flatten_consecutive(), entry l holds l's final label — the
+  /// relabeling pass indexes this directly.
+  [[nodiscard]] std::span<const Label> final_labels() const noexcept {
+    return rtable_;
+  }
+
+  /// Replace representatives with consecutive final labels 1..n (in
+  /// increasing-representative order, matching FLATTEN's numbering).
+  /// After this call, representative(l) yields the *final* label.
+  /// Returns the component count n.
+  Label flatten_consecutive() {
+    Label k = 0;
+    for (Label i = 1; i <= count_; ++i) {
+      if (rtable_[i] == i) {
+        ++k;
+        rtable_[i] = k;
+      } else {
+        // Representative has a smaller index, hence already renumbered.
+        rtable_[i] = rtable_[rtable_[i]];
+      }
+    }
+    return k;
+  }
+
+ private:
+  static constexpr Label kNone = -1;
+
+  std::vector<Label> rtable_;
+  std::vector<Label> next_;
+  std::vector<Label> tail_;
+  Label count_ = 0;
+};
+
+}  // namespace paremsp::uf

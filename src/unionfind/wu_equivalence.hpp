@@ -1,0 +1,46 @@
+// Wu/Otoo/Suzuki-style array union-find used by the CCLLRPC baseline.
+//
+// Wu et al. 2009 (paper reference [36]) store label equivalences in a flat
+// array where the representative of a set is always its *smallest* label
+// (link by smaller index) and finds run full path compression. That
+// combination keeps the p[i] <= i invariant, so the same single-pass
+// FLATTEN (Algorithm 3) used by REM applies. See DESIGN.md substitution S4
+// for why "link by rank" as printed in this paper's prose cannot be
+// combined with that FLATTEN.
+//
+// Free functions over a caller-owned array, mirroring rem.hpp, so the
+// CCLLRPC scan kernel can run them on its provisional-label table.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace paremsp::uf {
+
+/// Root of x with full path compression.
+inline Label wu_find(Label* p, Label x) noexcept {
+  Label root = x;
+  while (p[root] != root) root = p[root];
+  while (p[x] != root) {
+    const Label next = p[x];
+    p[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+/// Union by smaller index with path compression; returns the new root
+/// (the minimum label of the merged set).
+inline Label wu_unite(Label* p, Label x, Label y) noexcept {
+  Label rx = wu_find(p, x);
+  Label ry = wu_find(p, y);
+  if (rx == ry) return rx;
+  if (rx > ry) {
+    const Label t = rx;
+    rx = ry;
+    ry = t;
+  }
+  p[ry] = rx;
+  return rx;
+}
+
+}  // namespace paremsp::uf

@@ -1,0 +1,171 @@
+// Tests for Moore-neighbor outer-contour tracing (analysis/contours).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/contours.hpp"
+#include "baselines/flood_fill.hpp"
+#include "image/ascii.hpp"
+#include "image/generators.hpp"
+
+namespace paremsp::analysis {
+namespace {
+
+std::vector<Contour> contours_of(const BinaryImage& img) {
+  const auto res = FloodFillLabeler().label(img);
+  return outer_contours(res.labels, res.num_components);
+}
+
+bool eight_adjacent(const ContourPoint& a, const ContourPoint& b) {
+  return std::abs(a.row - b.row) <= 1 && std::abs(a.col - b.col) <= 1 &&
+         !(a == b);
+}
+
+TEST(Contours, SinglePixel) {
+  const auto cs = contours_of(binary_from_ascii("#"));
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].points, (std::vector<ContourPoint>{{0, 0}}));
+  EXPECT_EQ(cs[0].length(), 0u);
+}
+
+TEST(Contours, Domino) {
+  const auto cs = contours_of(binary_from_ascii("##"));
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].points,
+            (std::vector<ContourPoint>{{0, 0}, {0, 1}}));
+}
+
+TEST(Contours, SquareBlockClockwise) {
+  const auto cs = contours_of(binary_from_ascii(
+      R"(
+###
+###
+###)"));
+  ASSERT_EQ(cs.size(), 1u);
+  // 8 boundary pixels, clockwise from the top-left corner.
+  const std::vector<ContourPoint> expected{{0, 0}, {0, 1}, {0, 2}, {1, 2},
+                                           {2, 2}, {2, 1}, {2, 0}, {1, 0}};
+  EXPECT_EQ(cs[0].points, expected);
+}
+
+TEST(Contours, InteriorPixelsAreNotOnTheContour) {
+  const auto img = binary_from_ascii(
+      R"(
+#####
+#####
+#####
+#####
+#####)");
+  const auto cs = contours_of(img);
+  ASSERT_EQ(cs.size(), 1u);
+  // 5x5 block: 16 boundary pixels; (1..3, 1..3) never appear.
+  EXPECT_EQ(cs[0].points.size(), 16u);
+  for (const auto& p : cs[0].points) {
+    EXPECT_TRUE(p.row == 0 || p.row == 4 || p.col == 0 || p.col == 4);
+  }
+}
+
+TEST(Contours, ConsecutivePointsAreAdjacentAndLoopCloses) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto img = gen::random_ellipses(48, 48, 3, 4, 9, seed);
+    for (const auto& c : contours_of(img)) {
+      if (c.points.size() < 2) continue;
+      for (std::size_t i = 0; i + 1 < c.points.size(); ++i) {
+        EXPECT_TRUE(eight_adjacent(c.points[i], c.points[i + 1]))
+            << "seed " << seed;
+      }
+      EXPECT_TRUE(eight_adjacent(c.points.back(), c.points.front()));
+    }
+  }
+}
+
+TEST(Contours, PointsBelongToTheirComponent) {
+  const auto img = gen::misc_like(40, 40, 5);
+  const auto res = FloodFillLabeler().label(img);
+  for (const auto& c : outer_contours(res.labels, res.num_components)) {
+    for (const auto& p : c.points) {
+      EXPECT_EQ(res.labels(p.row, p.col), c.label);
+    }
+  }
+}
+
+TEST(Contours, DiagonalChainIsWalkedBothWays) {
+  // A pure diagonal: the outer boundary goes down the chain and back.
+  const auto cs = contours_of(binary_from_ascii(
+      R"(
+#..
+.#.
+..#)"));
+  ASSERT_EQ(cs.size(), 1u);
+  // 3 pixels, each visited twice except the turning ends: 4 steps.
+  EXPECT_EQ(cs[0].points.size(), 4u);
+  EXPECT_EQ(cs[0].points[0], (ContourPoint{0, 0}));
+  EXPECT_EQ(cs[0].points[1], (ContourPoint{1, 1}));
+  EXPECT_EQ(cs[0].points[2], (ContourPoint{2, 2}));
+  EXPECT_EQ(cs[0].points[3], (ContourPoint{1, 1}));
+}
+
+TEST(Contours, RingOuterBoundaryOnly) {
+  const auto img = binary_from_ascii(
+      R"(
+#####
+#...#
+#...#
+#####)");
+  const auto cs = contours_of(img);
+  ASSERT_EQ(cs.size(), 1u);
+  // Only the 14 outer-rectangle pixels; the hole's inner boundary (which
+  // here is the same set of pixels seen from inside) must not duplicate
+  // the walk: every point lies on the image-facing rectangle.
+  std::set<std::pair<Coord, Coord>> unique_points;
+  for (const auto& p : cs[0].points) unique_points.insert({p.row, p.col});
+  EXPECT_EQ(unique_points.size(), 14u);
+}
+
+TEST(Contours, PinchedShapePassesThroughCutVertex) {
+  // Two blobs joined at one pixel: the contour legally revisits it.
+  const auto img = binary_from_ascii(
+      R"(
+##...
+##...
+..#..
+...##
+...##)");
+  const auto cs = contours_of(img);
+  ASSERT_EQ(cs.size(), 1u);
+  int visits = 0;
+  for (const auto& p : cs[0].points) {
+    if (p == ContourPoint{2, 2}) ++visits;
+  }
+  EXPECT_EQ(visits, 2);
+}
+
+TEST(Contours, PerComponentContours) {
+  const auto img = binary_from_ascii("#.#.#");
+  const auto cs = contours_of(img);
+  ASSERT_EQ(cs.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(cs[i].label, static_cast<Label>(i + 1));
+    EXPECT_EQ(cs[i].points.size(), 1u);
+  }
+}
+
+TEST(Contours, EmptyAndErrorCases) {
+  EXPECT_TRUE(outer_contours(LabelImage(3, 3), 0).empty());
+  LabelImage bogus(1, 1);
+  EXPECT_THROW((void)outer_contours(bogus, 1), PreconditionError);
+  bogus(0, 0) = 2;
+  EXPECT_THROW((void)outer_contours(bogus, 1), PreconditionError);
+}
+
+TEST(Contours, LengthTracksCrackPerimeterOrder) {
+  // Contour length (boundary pixel walk) grows with shape size.
+  const auto small = contours_of(gen::random_ellipses(32, 32, 1, 4, 4, 1));
+  const auto large = contours_of(gen::random_ellipses(64, 64, 1, 14, 14, 1));
+  ASSERT_EQ(small.size(), 1u);
+  ASSERT_EQ(large.size(), 1u);
+  EXPECT_GT(large[0].length(), small[0].length());
+}
+
+}  // namespace
+}  // namespace paremsp::analysis

@@ -1,0 +1,159 @@
+// Tests for the component post-processing utilities (analysis/filtering).
+#include <gtest/gtest.h>
+
+#include "analysis/filtering.hpp"
+#include "baselines/flood_fill.hpp"
+#include "common/contracts.hpp"
+#include "image/ascii.hpp"
+#include "image/generators.hpp"
+
+namespace paremsp::analysis {
+namespace {
+
+TEST(ExtractComponent, PullsOneLabelMask) {
+  const BinaryImage img = binary_from_ascii(
+      R"(
+##..#
+##..#
+.....)");
+  const auto res = FloodFillLabeler().label(img);
+  ASSERT_EQ(res.num_components, 2);
+  const BinaryImage first = extract_component(res.labels, 1);
+  EXPECT_EQ(to_ascii(first),
+            "##...\n"
+            "##...\n"
+            ".....\n");
+  const BinaryImage second = extract_component(res.labels, 2);
+  EXPECT_EQ(to_ascii(second),
+            "....#\n"
+            "....#\n"
+            ".....\n");
+  EXPECT_THROW((void)extract_component(res.labels, 0), PreconditionError);
+}
+
+TEST(RemoveSmallComponents, DropsBelowThreshold) {
+  const BinaryImage img = binary_from_ascii(
+      R"(
+###..#
+###...
+.....#)");
+  Label dropped = 0;
+  const BinaryImage cleaned =
+      remove_small_components(img, 3, Connectivity::Eight, &dropped);
+  EXPECT_EQ(dropped, 2);  // the two isolated pixels
+  EXPECT_EQ(to_ascii(cleaned),
+            "###...\n"
+            "###...\n"
+            "......\n");
+}
+
+TEST(RemoveSmallComponents, ThresholdEdgeCases) {
+  const BinaryImage img = gen::uniform_noise(32, 32, 0.3, 5);
+  // min_area 0/1 keeps everything.
+  EXPECT_EQ(remove_small_components(img, 0), img);
+  EXPECT_EQ(remove_small_components(img, 1), img);
+  // A huge threshold clears the image.
+  const BinaryImage none = remove_small_components(img, 100000);
+  for (const auto px : none.pixels()) EXPECT_EQ(px, 0);
+  EXPECT_THROW((void)remove_small_components(img, -1), PreconditionError);
+}
+
+TEST(RemoveSmallComponents, RespectsConnectivity) {
+  // Two diagonal pixels: one component under 8-conn (area 2), two under
+  // 4-conn (area 1 each).
+  const BinaryImage img = binary_from_ascii(
+      R"(
+#.
+.#)");
+  EXPECT_EQ(remove_small_components(img, 2, Connectivity::Eight), img);
+  const BinaryImage four =
+      remove_small_components(img, 2, Connectivity::Four);
+  for (const auto px : four.pixels()) EXPECT_EQ(px, 0);
+}
+
+TEST(KeepLargestComponent, PicksTheBiggest) {
+  const BinaryImage img = binary_from_ascii(
+      R"(
+##...#
+##...#
+.....#
+#....#
+.....#)");
+  const BinaryImage largest = keep_largest_component(img);
+  EXPECT_EQ(to_ascii(largest),
+            ".....#\n"
+            ".....#\n"
+            ".....#\n"
+            ".....#\n"
+            ".....#\n");
+}
+
+TEST(KeepLargestComponent, TieBreaksTowardSmallerLabel) {
+  // Two components of area 2: raster-first one wins.
+  const BinaryImage img = binary_from_ascii("##.##");
+  const BinaryImage largest = keep_largest_component(img);
+  EXPECT_EQ(to_ascii(largest), "##...\n");
+}
+
+TEST(KeepLargestComponent, EmptyImageStaysEmpty) {
+  const BinaryImage img(5, 5, 0);
+  const BinaryImage out = keep_largest_component(img);
+  for (const auto px : out.pixels()) EXPECT_EQ(px, 0);
+}
+
+TEST(FillHoles, FillsEnclosedBackground) {
+  const BinaryImage ring = binary_from_ascii(
+      R"(
+#####
+#...#
+#.#.#
+#...#
+#####)");
+  const BinaryImage filled = fill_holes(ring);
+  for (const auto px : filled.pixels()) EXPECT_EQ(px, 1);
+}
+
+TEST(FillHoles, LeavesOpenRegionsAlone) {
+  const BinaryImage cup = binary_from_ascii(
+      R"(
+#...#
+#...#
+#####)");
+  EXPECT_EQ(fill_holes(cup), cup);  // open at the top: not a hole
+}
+
+TEST(FillHoles, DiagonalGapsAreNotLeaks) {
+  // 8-connected foreground ring with a diagonal "gap" that background
+  // cannot pass through under 4-connectivity: still a hole.
+  const BinaryImage ring = binary_from_ascii(
+      R"(
+.###.
+#...#
+#.#.#
+#...#
+.###.)",
+      '#');
+  const BinaryImage filled = fill_holes(ring);
+  EXPECT_EQ(filled(2, 2), 1);
+  EXPECT_EQ(filled(1, 2), 1);
+  // The diagonal corner background pixels connect to the outside.
+  EXPECT_EQ(filled(0, 0), 0);
+  EXPECT_EQ(filled(4, 4), 0);
+}
+
+TEST(FillHoles, NestedStructures) {
+  const BinaryImage nested = binary_from_ascii(
+      R"(
+#########
+#.......#
+#.#####.#
+#.#...#.#
+#.#####.#
+#.......#
+#########)");
+  const BinaryImage filled = fill_holes(nested);
+  for (const auto px : filled.pixels()) EXPECT_EQ(px, 1);
+}
+
+}  // namespace
+}  // namespace paremsp::analysis

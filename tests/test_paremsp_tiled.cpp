@@ -1,0 +1,152 @@
+// Tests for the 2-D tiled PAREMSP extension: partition equivalence with
+// AREMSP on adversarial tile grids, determinism, and the single-tile
+// degenerate case (bit-identical to AREMSP).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/equivalence.hpp"
+#include "analysis/validation.hpp"
+#include "core/aremsp.hpp"
+#include "core/paremsp_tiled.hpp"
+#include "fixtures.hpp"
+#include "image/generators.hpp"
+
+namespace paremsp {
+namespace {
+
+TiledParemspLabeler tiled(Coord tile_rows, Coord tile_cols, int threads = 3,
+                          MergeBackend backend = MergeBackend::LockedRem) {
+  return TiledParemspLabeler(TiledParemspConfig{
+      .threads = threads,
+      .tile_rows = tile_rows,
+      .tile_cols = tile_cols,
+      .merge_backend = backend});
+}
+
+void expect_matches_aremsp(const TiledParemspLabeler& labeler,
+                           const BinaryImage& image,
+                           const std::string& what) {
+  SCOPED_TRACE(what);
+  const auto expected = AremspLabeler().label(image);
+  const auto got = labeler.label(image);
+  EXPECT_EQ(got.num_components, expected.num_components);
+  EXPECT_TRUE(analysis::equivalent_labelings(got.labels, expected.labels));
+  const auto v = analysis::validate_labeling(image, got.labels,
+                                             got.num_components);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+class TiledGrid
+    : public ::testing::TestWithParam<std::pair<Coord, Coord>> {};
+
+TEST_P(TiledGrid, PartitionEquivalentToAremsp) {
+  const auto [tr, tc] = GetParam();
+  const auto labeler = tiled(tr, tc);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    expect_matches_aremsp(labeler, gen::landcover_like(70, 90, seed),
+                          "landcover " + std::to_string(seed));
+  }
+  expect_matches_aremsp(labeler, gen::spiral(70, 90, 2, 3), "spiral");
+  expect_matches_aremsp(labeler, gen::checkerboard(70, 90, 1), "checker");
+  expect_matches_aremsp(labeler, gen::stripes(70, 90, 2, 1, true), "vbars");
+  expect_matches_aremsp(labeler, gen::stripes(70, 90, 2, 1, false), "hbars");
+  expect_matches_aremsp(labeler, BinaryImage(70, 90, 1), "all fg");
+  expect_matches_aremsp(labeler, gen::uniform_noise(70, 90, 0.5, 5),
+                        "noise");
+}
+
+TEST_P(TiledGrid, Fixtures) {
+  const auto [tr, tc] = GetParam();
+  const auto labeler = tiled(tr, tc);
+  for (const auto& fx : testing::fixtures()) {
+    SCOPED_TRACE(fx.name);
+    EXPECT_EQ(labeler.label(fx.image).num_components, fx.components8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSizes, TiledGrid,
+    ::testing::Values(std::pair<Coord, Coord>{2, 2},    // extreme: 2x2 tiles
+                      std::pair<Coord, Coord>{8, 8},
+                      std::pair<Coord, Coord>{16, 32},
+                      std::pair<Coord, Coord>{32, 16},
+                      std::pair<Coord, Coord>{64, 4},   // column strips
+                      std::pair<Coord, Coord>{4, 64},   // row strips
+                      std::pair<Coord, Coord>{1024, 1024}),  // single tile
+    [](const auto& pinfo) {
+      return "t" + std::to_string(pinfo.param.first) + "x" +
+             std::to_string(pinfo.param.second);
+    });
+
+TEST(TiledParemsp, SingleTileIsBitIdenticalToAremsp) {
+  const auto image = gen::misc_like(60, 60, 8);
+  const auto expected = AremspLabeler().label(image);
+  const auto got = tiled(1024, 1024, 4).label(image);
+  EXPECT_EQ(got.labels, expected.labels);
+}
+
+TEST(TiledParemsp, DeterministicAcrossThreadCounts) {
+  const auto image = gen::landcover_like(96, 80, 3);
+  const auto reference = tiled(16, 16, 1).label(image);
+  for (const int threads : {2, 4, 8}) {
+    const auto got = tiled(16, 16, threads).label(image);
+    EXPECT_EQ(got.labels, reference.labels) << "threads=" << threads;
+  }
+}
+
+TEST(TiledParemsp, AllMergeBackends) {
+  const auto image = gen::uniform_noise(64, 64, 0.55, 17);
+  const auto expected = AremspLabeler().label(image);
+  for (const auto backend : {MergeBackend::LockedRem, MergeBackend::CasRem,
+                             MergeBackend::Sequential}) {
+    const auto got = tiled(8, 8, 4, backend).label(image);
+    EXPECT_EQ(got.num_components, expected.num_components)
+        << to_string(backend);
+    EXPECT_TRUE(
+        analysis::equivalent_labelings(got.labels, expected.labels));
+  }
+}
+
+TEST(TiledParemsp, CornerOnlyContacts) {
+  // Diagonal line hits every tile corner of an 8x8 grid: all merges are
+  // corner-diagonal, the hardest boundary case.
+  BinaryImage diag(64, 64, 0);
+  for (Coord i = 0; i < 64; ++i) diag(i, i) = 1;
+  EXPECT_EQ(tiled(8, 8).label(diag).num_components, 1);
+  BinaryImage anti(64, 64, 0);
+  for (Coord i = 0; i < 64; ++i) anti(i, 63 - i) = 1;
+  EXPECT_EQ(tiled(8, 8).label(anti).num_components, 1);
+}
+
+TEST(TiledParemsp, OddSizedEdgesAndTinyImages) {
+  const auto labeler = tiled(8, 8);
+  for (const auto [rows, cols] :
+       {std::pair<Coord, Coord>{9, 13}, std::pair<Coord, Coord>{1, 50},
+        std::pair<Coord, Coord>{50, 1}, std::pair<Coord, Coord>{3, 3},
+        std::pair<Coord, Coord>{17, 23}}) {
+    const auto image = gen::uniform_noise(
+        rows, cols, 0.5, static_cast<std::uint64_t>(rows * 100 + cols));
+    expect_matches_aremsp(labeler, image,
+                          std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  EXPECT_EQ(labeler.label(BinaryImage()).num_components, 0);
+}
+
+TEST(TiledParemsp, ConfigValidation) {
+  EXPECT_THROW(TiledParemspLabeler(TiledParemspConfig{.threads = -1}),
+               PreconditionError);
+  EXPECT_THROW(TiledParemspLabeler(TiledParemspConfig{.tile_rows = 1}),
+               PreconditionError);
+  EXPECT_THROW(TiledParemspLabeler(TiledParemspConfig{.tile_cols = 0}),
+               PreconditionError);
+  EXPECT_THROW(TiledParemspLabeler(TiledParemspConfig{.lock_bits = 99}),
+               PreconditionError);
+  const TiledParemspLabeler ok(TiledParemspConfig{.tile_rows = 3});
+  EXPECT_EQ(ok.config().tile_rows, 4);  // rounded up to even
+  EXPECT_EQ(ok.name(), "paremsp2d");
+  EXPECT_TRUE(ok.is_parallel());
+}
+
+}  // namespace
+}  // namespace paremsp

@@ -1,0 +1,128 @@
+// Tests for Netpbm I/O: ASCII/binary round trips, header handling,
+// malformed-input rejection, and file-level wrappers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/prng.hpp"
+#include "image/generators.hpp"
+#include "image/pnm_io.hpp"
+
+namespace paremsp {
+namespace {
+
+BinaryImage sample_binary() { return gen::uniform_noise(13, 17, 0.4, 5); }
+
+GrayImage sample_gray() { return gen::plasma(9, 14, 3); }
+
+RgbImage sample_rgb() { return gen::color_test_card(8, 11, 2); }
+
+class PnmRoundTrip : public ::testing::TestWithParam<PnmEncoding> {};
+
+TEST_P(PnmRoundTrip, Pbm) {
+  const BinaryImage original = sample_binary();
+  std::stringstream buf;
+  write_pbm(original, buf, GetParam());
+  EXPECT_EQ(read_pbm(buf), original);
+}
+
+TEST_P(PnmRoundTrip, PbmWidthsAroundByteBoundaries) {
+  for (const Coord cols : {1, 7, 8, 9, 15, 16, 17}) {
+    const BinaryImage original = gen::uniform_noise(5, cols, 0.5, 99);
+    std::stringstream buf;
+    write_pbm(original, buf, GetParam());
+    EXPECT_EQ(read_pbm(buf), original) << "cols=" << cols;
+  }
+}
+
+TEST_P(PnmRoundTrip, Pgm) {
+  const GrayImage original = sample_gray();
+  std::stringstream buf;
+  write_pgm(original, buf, GetParam());
+  EXPECT_EQ(read_pgm(buf), original);
+}
+
+TEST_P(PnmRoundTrip, Ppm) {
+  const RgbImage original = sample_rgb();
+  std::stringstream buf;
+  write_ppm(original, buf, GetParam());
+  EXPECT_EQ(read_ppm(buf), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, PnmRoundTrip,
+                         ::testing::Values(PnmEncoding::Ascii,
+                                           PnmEncoding::Binary),
+                         [](const auto& pinfo) {
+                           return pinfo.param == PnmEncoding::Ascii ? "ascii"
+                                                                   : "binary";
+                         });
+
+TEST(PnmIo, ReadsCommentsAndWhitespace) {
+  std::stringstream buf(
+      "P1\n"
+      "# a comment line\n"
+      "  3 # width\n"
+      " 2\n"
+      "1 0 1\n0 1 0\n");
+  const BinaryImage img = read_pbm(buf);
+  EXPECT_EQ(img.rows(), 2);
+  EXPECT_EQ(img.cols(), 3);
+  EXPECT_EQ(img(0, 0), 1);
+  EXPECT_EQ(img(0, 1), 0);
+  EXPECT_EQ(img(1, 1), 1);
+}
+
+TEST(PnmIo, RejectsWrongMagic) {
+  std::stringstream buf("P7\n2 2\n0 0 0 0\n");
+  EXPECT_THROW((void)read_pbm(buf), PreconditionError);
+  std::stringstream buf2("P1\n2 2\n0 0 0 0\n");
+  EXPECT_THROW((void)read_pgm(buf2), PreconditionError);
+}
+
+TEST(PnmIo, RejectsTruncatedData) {
+  std::stringstream buf("P1\n3 3\n1 0 1\n");
+  EXPECT_THROW((void)read_pbm(buf), PreconditionError);
+
+  std::stringstream raw("P5\n4 4\n255\nab");  // 2 of 16 bytes
+  EXPECT_THROW((void)read_pgm(raw), PreconditionError);
+}
+
+TEST(PnmIo, RejectsBadPixelValues) {
+  std::stringstream buf("P1\n2 1\n1 2\n");
+  EXPECT_THROW((void)read_pbm(buf), PreconditionError);
+
+  std::stringstream pgm("P2\n2 1\n100\n5 101\n");
+  EXPECT_THROW((void)read_pgm(pgm), PreconditionError);
+}
+
+TEST(PnmIo, RejectsOversizedMaxval) {
+  std::stringstream pgm("P2\n1 1\n65535\n1234\n");
+  EXPECT_THROW((void)read_pgm(pgm), PreconditionError);
+}
+
+TEST(PnmIo, EmptyImageRoundTrips) {
+  const BinaryImage empty(0, 0);
+  std::stringstream buf;
+  write_pbm(empty, buf, PnmEncoding::Binary);
+  EXPECT_EQ(read_pbm(buf), empty);
+}
+
+TEST(PnmIo, FileRoundTripAndMissingFile) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "paremsp_pnm_test";
+  fs::create_directories(dir);
+  const fs::path path = dir / "img.pbm";
+
+  const BinaryImage original = sample_binary();
+  write_pbm(original, path);
+  EXPECT_EQ(read_pbm(path), original);
+  fs::remove(path);
+  EXPECT_THROW((void)read_pbm(path), PreconditionError);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace paremsp

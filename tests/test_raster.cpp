@@ -1,0 +1,132 @@
+// Tests for the raster containers and ASCII round-tripping.
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "image/ascii.hpp"
+#include "image/raster.hpp"
+
+namespace paremsp {
+namespace {
+
+TEST(Raster, DefaultIsEmpty) {
+  BinaryImage img;
+  EXPECT_EQ(img.rows(), 0);
+  EXPECT_EQ(img.cols(), 0);
+  EXPECT_EQ(img.size(), 0);
+  EXPECT_TRUE(img.empty());
+}
+
+TEST(Raster, ConstructsWithFill) {
+  GrayImage img(3, 4, 7);
+  EXPECT_EQ(img.rows(), 3);
+  EXPECT_EQ(img.cols(), 4);
+  EXPECT_EQ(img.size(), 12);
+  for (const auto px : img.pixels()) EXPECT_EQ(px, 7);
+}
+
+TEST(Raster, ElementAccessRowMajor) {
+  LabelImage img(2, 3);
+  img(0, 0) = 1;
+  img(0, 2) = 2;
+  img(1, 0) = 3;
+  EXPECT_EQ(img.pixels()[0], 1);
+  EXPECT_EQ(img.pixels()[2], 2);
+  EXPECT_EQ(img.pixels()[3], 3);
+  EXPECT_EQ(img.row(1)[0], 3);
+}
+
+TEST(Raster, AtThrowsOutOfBounds) {
+  BinaryImage img(2, 2);
+  EXPECT_THROW((void)img.at(2, 0), PreconditionError);
+  EXPECT_THROW((void)img.at(0, -1), PreconditionError);
+  EXPECT_NO_THROW((void)img.at(1, 1));
+}
+
+TEST(Raster, AtOrFallsBack) {
+  BinaryImage img(2, 2, 1);
+  EXPECT_EQ(img.at_or(0, 0), 1);
+  EXPECT_EQ(img.at_or(-1, 0), 0);
+  EXPECT_EQ(img.at_or(0, 2, 9), 9);
+}
+
+TEST(Raster, EqualityAndFill) {
+  BinaryImage a(2, 2, 1);
+  BinaryImage b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 0;
+  EXPECT_NE(a, b);
+  b.fill(1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, BinaryImage(2, 3, 1));
+}
+
+TEST(Raster, NegativeDimensionsThrow) {
+  EXPECT_THROW(BinaryImage(-1, 4), PreconditionError);
+  EXPECT_THROW(BinaryImage(4, -1), PreconditionError);
+}
+
+TEST(Raster, OversizeThrows) {
+  EXPECT_THROW(BinaryImage(1 << 16, 1 << 16), PreconditionError);
+}
+
+TEST(Raster, ZeroByNIsEmptyButValid) {
+  BinaryImage img(0, 5);
+  EXPECT_EQ(img.size(), 0);
+  EXPECT_TRUE(img.empty());
+  BinaryImage img2(5, 0);
+  EXPECT_EQ(img2.size(), 0);
+}
+
+TEST(Rgb, Equality) {
+  EXPECT_EQ((Rgb{1, 2, 3}), (Rgb{1, 2, 3}));
+  EXPECT_NE((Rgb{1, 2, 3}), (Rgb{1, 2, 4}));
+}
+
+// --- ASCII ------------------------------------------------------------------
+
+TEST(Ascii, RoundTripsBinaryImages) {
+  const std::string art =
+      "#..#\n"
+      ".##.\n"
+      "#..#\n";
+  const BinaryImage img = binary_from_ascii(art);
+  EXPECT_EQ(img.rows(), 3);
+  EXPECT_EQ(img.cols(), 4);
+  EXPECT_EQ(to_ascii(img), art);
+}
+
+TEST(Ascii, TrimsSurroundingNewlines) {
+  const BinaryImage img = binary_from_ascii("\n##\n..\n");
+  EXPECT_EQ(img.rows(), 2);
+  EXPECT_EQ(img.cols(), 2);
+  EXPECT_EQ(img(0, 0), 1);
+  EXPECT_EQ(img(1, 0), 0);
+}
+
+TEST(Ascii, CustomForegroundChar) {
+  const BinaryImage img = binary_from_ascii("X.\n.X", 'X');
+  EXPECT_EQ(img(0, 0), 1);
+  EXPECT_EQ(img(0, 1), 0);
+  EXPECT_EQ(img(1, 1), 1);
+}
+
+TEST(Ascii, RaggedRowsThrow) {
+  EXPECT_THROW(binary_from_ascii("##\n#"), PreconditionError);
+}
+
+TEST(Ascii, EmptyStringGivesEmptyImage) {
+  const BinaryImage img = binary_from_ascii("");
+  EXPECT_TRUE(img.empty());
+}
+
+TEST(Ascii, LabelRenderingUsesPaletteAndDots) {
+  LabelImage labels(1, 4);
+  labels(0, 0) = 0;
+  labels(0, 1) = 1;
+  labels(0, 2) = 2;
+  labels(0, 3) = 10;
+  EXPECT_EQ(to_ascii(labels), ".12A\n");
+}
+
+}  // namespace
+}  // namespace paremsp

@@ -1,0 +1,92 @@
+// Tests for the algorithm registry/factory.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "core/registry.hpp"
+
+namespace paremsp {
+namespace {
+
+TEST(Registry, CatalogIsCompleteAndUnique) {
+  const auto catalog = algorithm_catalog();
+  EXPECT_EQ(catalog.size(), 10u);
+  std::set<std::string_view> names;
+  std::set<Algorithm> ids;
+  for (const auto& info : catalog) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty());
+    names.insert(info.name);
+    ids.insert(info.id);
+  }
+  EXPECT_EQ(names.size(), catalog.size());
+  EXPECT_EQ(ids.size(), catalog.size());
+}
+
+TEST(Registry, PaperAlgorithmsAreFlagged) {
+  std::set<std::string_view> proposed;
+  for (const auto& info : algorithm_catalog()) {
+    if (info.proposed_in_paper) proposed.insert(info.name);
+  }
+  EXPECT_EQ(proposed,
+            (std::set<std::string_view>{"cclremsp", "aremsp", "paremsp"}));
+}
+
+TEST(Registry, ParallelAlgorithmsAreFlagged) {
+  std::set<std::string_view> parallel;
+  for (const auto& info : algorithm_catalog()) {
+    if (info.parallel) parallel.insert(info.name);
+  }
+  EXPECT_EQ(parallel, (std::set<std::string_view>{"paremsp", "paremsp2d", "psuzuki"}));
+}
+
+TEST(Registry, NamesRoundTrip) {
+  for (const auto& info : algorithm_catalog()) {
+    EXPECT_EQ(algorithm_from_name(info.name), info.id);
+    EXPECT_EQ(algorithm_info(info.id).name, info.name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)algorithm_from_name("does-not-exist"),
+               PreconditionError);
+  EXPECT_THROW((void)algorithm_from_name(""), PreconditionError);
+}
+
+TEST(Registry, FactoryProducesMatchingNames) {
+  for (const auto& info : algorithm_catalog()) {
+    const auto labeler = make_labeler(info.id);
+    ASSERT_NE(labeler, nullptr);
+    EXPECT_EQ(labeler->name(), info.name);
+    EXPECT_EQ(labeler->is_parallel(), info.parallel);
+  }
+}
+
+TEST(Registry, FactoryForwardsParemspConfig) {
+  const LabelerOptions opts{.threads = 3,
+                            .merge_backend = MergeBackend::CasRem,
+                            .lock_bits = 8};
+  const auto labeler = make_labeler(Algorithm::Paremsp, opts);
+  const auto* paremsp = dynamic_cast<const ParemspLabeler*>(labeler.get());
+  ASSERT_NE(paremsp, nullptr);
+  EXPECT_EQ(paremsp->config().threads, 3);
+  EXPECT_EQ(paremsp->config().merge_backend, MergeBackend::CasRem);
+  EXPECT_EQ(paremsp->config().lock_bits, 8);
+}
+
+TEST(Registry, FourConnectivityGatingMatchesCatalog) {
+  const LabelerOptions four{.connectivity = Connectivity::Four};
+  for (const auto& info : algorithm_catalog()) {
+    if (info.supports_four_connectivity) {
+      EXPECT_NO_THROW((void)make_labeler(info.id, four)) << info.name;
+    } else {
+      EXPECT_THROW((void)make_labeler(info.id, four), PreconditionError)
+          << info.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paremsp

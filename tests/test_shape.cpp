@@ -1,0 +1,197 @@
+// Tests for the shape descriptors (analysis/shape): perimeter,
+// circularity, orientation/elongation from moments, and the Euler/hole
+// count via Gray's quad formula.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/shape.hpp"
+#include "baselines/flood_fill.hpp"
+#include "image/ascii.hpp"
+#include "image/generators.hpp"
+
+namespace paremsp::analysis {
+namespace {
+
+std::vector<ShapeInfo> shapes_of(const BinaryImage& img) {
+  const auto res = FloodFillLabeler().label(img);
+  return compute_shapes(res.labels, res.num_components);
+}
+
+TEST(Shape, SinglePixel) {
+  const auto s = shapes_of(binary_from_ascii("#"));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].area, 1);
+  EXPECT_EQ(s[0].perimeter, 4);
+  EXPECT_EQ(s[0].holes, 0);
+  EXPECT_EQ(s[0].euler_number(), 1);
+  EXPECT_DOUBLE_EQ(s[0].elongation, 1.0);  // isotropic
+}
+
+TEST(Shape, SquareBlock) {
+  const auto s = shapes_of(binary_from_ascii(
+      R"(
+####
+####
+####
+####)"));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].area, 16);
+  EXPECT_EQ(s[0].perimeter, 16);
+  EXPECT_EQ(s[0].holes, 0);
+  EXPECT_NEAR(s[0].elongation, 1.0, 1e-9);
+  // 4*pi*16/256 ~ 0.785 — the square's circularity.
+  EXPECT_NEAR(s[0].circularity, 0.785, 0.01);
+}
+
+TEST(Shape, HorizontalAndVerticalLines) {
+  const auto h = shapes_of(binary_from_ascii("########"));
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0].area, 8);
+  EXPECT_EQ(h[0].perimeter, 18);
+  EXPECT_LT(h[0].elongation, 0.3);           // strongly elongated
+  EXPECT_NEAR(h[0].orientation, 0.0, 1e-6);  // horizontal = 0 by convention
+
+  const auto v = shapes_of(binary_from_ascii("#\n#\n#\n#\n#\n#\n#\n#"));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].perimeter, 18);
+  EXPECT_NEAR(std::abs(v[0].orientation), std::numbers::pi / 2, 1e-6);
+  EXPECT_LT(v[0].elongation, 0.3);
+}
+
+TEST(Shape, DiagonalOrientation) {
+  const auto s = shapes_of(binary_from_ascii(
+      R"(
+#....
+.#...
+..#..
+...#.
+....#)"));
+  ASSERT_EQ(s.size(), 1u);
+  // Major axis along the main diagonal: +pi/4 (row grows with col).
+  EXPECT_NEAR(s[0].orientation, std::numbers::pi / 4, 1e-6);
+  EXPECT_LT(s[0].elongation, 0.5);
+}
+
+TEST(Shape, RingHasOneHole) {
+  const auto s = shapes_of(binary_from_ascii(
+      R"(
+#####
+#...#
+#...#
+#####)"));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].holes, 1);
+  EXPECT_EQ(s[0].euler_number(), 0);
+  // Inner + outer crack perimeter: 2*(5+4) + 2*(3+2) = 28.
+  EXPECT_EQ(s[0].perimeter, 28);
+}
+
+TEST(Shape, FigureEightHasTwoHoles) {
+  const auto s = shapes_of(binary_from_ascii(
+      R"(
+#######
+#..#..#
+#..#..#
+#######)"));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].holes, 2);
+  EXPECT_EQ(s[0].euler_number(), -1);
+}
+
+TEST(Shape, NestedRingsCountOwnHolesOnly) {
+  const auto img = binary_from_ascii(
+      R"(
+#########
+#.......#
+#.#####.#
+#.#...#.#
+#.#.#.#.#
+#.#...#.#
+#.#####.#
+#.......#
+#########)");
+  const auto res = FloodFillLabeler().label(img);
+  ASSERT_EQ(res.num_components, 3);
+  const auto s = compute_shapes(res.labels, res.num_components);
+  // Outer ring: one hole (containing the middle ring). Middle ring: one
+  // hole (containing the dot). Dot: none.
+  EXPECT_EQ(s[0].holes, 1);
+  EXPECT_EQ(s[1].holes, 1);
+  EXPECT_EQ(s[2].holes, 0);
+}
+
+TEST(Shape, DiagonalQuadTreatedAsConnected) {
+  // Two diagonal pixels are one 8-connected component with no hole; the
+  // Qd term of Gray's formula is what keeps the Euler number at 1.
+  const auto s = shapes_of(binary_from_ascii(
+      R"(
+#.
+.#)"));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].holes, 0);
+  EXPECT_EQ(s[0].euler_number(), 1);
+}
+
+TEST(Shape, CircleCircularityApproachesOne) {
+  const BinaryImage disk = gen::random_ellipses(64, 64, 1, 20, 20, 3);
+  const auto s = shapes_of(disk);
+  ASSERT_EQ(s.size(), 1u);
+  // Rasterized disk with crack perimeter: circularity lands near ~0.7-0.9
+  // (the crack perimeter exceeds the smooth circumference).
+  EXPECT_GT(s[0].circularity, 0.6);
+  EXPECT_LT(s[0].circularity, 1.1);
+  EXPECT_GT(s[0].elongation, 0.9);
+  EXPECT_EQ(s[0].holes, 0);
+}
+
+TEST(Shape, GlyphEulerNumbersDistinguishLetters) {
+  // The OCR motivation: 'B' has two holes, 'D'/'O' one, 'C'/'L' none.
+  const auto euler_of = [](char ch) {
+    const BinaryImage glyph = gen::text_banner(std::string(1, ch), 2, 2);
+    const auto s = shapes_of(glyph);
+    EXPECT_EQ(s.size(), 1u) << ch;
+    return s.empty() ? std::int64_t{99} : s[0].euler_number();
+  };
+  EXPECT_EQ(euler_of('B'), -1);
+  EXPECT_EQ(euler_of('D'), 0);
+  EXPECT_EQ(euler_of('O'), 0);
+  EXPECT_EQ(euler_of('A'), 0);
+  EXPECT_EQ(euler_of('C'), 1);
+  EXPECT_EQ(euler_of('L'), 1);
+  EXPECT_EQ(euler_of('X'), 1);
+}
+
+TEST(Shape, PerimeterIsAdditiveOverComponents) {
+  const auto s = shapes_of(binary_from_ascii("#.#.#"));
+  ASSERT_EQ(s.size(), 3u);
+  for (const auto& c : s) {
+    EXPECT_EQ(c.area, 1);
+    EXPECT_EQ(c.perimeter, 4);
+  }
+}
+
+TEST(Shape, EmptyLabeling) {
+  EXPECT_TRUE(compute_shapes(LabelImage(4, 4), 0).empty());
+  EXPECT_TRUE(compute_shapes(LabelImage(), 0).empty());
+}
+
+TEST(Shape, RandomImagesHaveConsistentInvariants) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const BinaryImage img = gen::misc_like(48, 48, seed);
+    const auto res = FloodFillLabeler().label(img);
+    const auto shapes = compute_shapes(res.labels, res.num_components);
+    for (const auto& s : shapes) {
+      EXPECT_GT(s.area, 0);
+      EXPECT_GE(s.perimeter, 4);            // at least a single pixel's
+      EXPECT_LE(s.perimeter, 4 * s.area);   // at most all edges exposed
+      EXPECT_GE(s.holes, 0);
+      EXPECT_GE(s.elongation, 0.0);
+      EXPECT_LE(s.elongation, 1.0 + 1e-9);
+      EXPECT_GT(s.circularity, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace paremsp::analysis

@@ -1,0 +1,101 @@
+// Tests for the binarization pipeline (paper Figure 3: color -> grayscale
+// -> im2bw at level 0.5).
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "image/generators.hpp"
+#include "image/threshold.hpp"
+
+namespace paremsp {
+namespace {
+
+TEST(RgbToGray, UsesRec601Luma) {
+  RgbImage img(1, 4);
+  img(0, 0) = Rgb{255, 0, 0};
+  img(0, 1) = Rgb{0, 255, 0};
+  img(0, 2) = Rgb{0, 0, 255};
+  img(0, 3) = Rgb{255, 255, 255};
+  const GrayImage gray = rgb_to_gray(img);
+  EXPECT_EQ(gray(0, 0), 76);   // round(0.299*255)
+  EXPECT_EQ(gray(0, 1), 150);  // round(0.587*255)
+  EXPECT_EQ(gray(0, 2), 29);   // round(0.114*255)
+  EXPECT_EQ(gray(0, 3), 255);
+}
+
+TEST(Im2bw, StrictThresholdAtHalf) {
+  GrayImage img(1, 3);
+  img(0, 0) = 127;  // 127 < 127.5 -> 0
+  img(0, 1) = 128;  // 128 > 127.5 -> 1
+  img(0, 2) = 0;
+  const BinaryImage bw = im2bw(img, 0.5);
+  EXPECT_EQ(bw(0, 0), 0);
+  EXPECT_EQ(bw(0, 1), 1);
+  EXPECT_EQ(bw(0, 2), 0);
+}
+
+TEST(Im2bw, LevelExtremes) {
+  GrayImage img(1, 2);
+  img(0, 0) = 0;
+  img(0, 1) = 255;
+  // level 0: everything above 0 is white.
+  const BinaryImage low = im2bw(img, 0.0);
+  EXPECT_EQ(low(0, 0), 0);
+  EXPECT_EQ(low(0, 1), 1);
+  // level 1: nothing exceeds 255.
+  const BinaryImage high = im2bw(img, 1.0);
+  EXPECT_EQ(high(0, 0), 0);
+  EXPECT_EQ(high(0, 1), 0);
+  EXPECT_THROW(im2bw(img, 1.5), PreconditionError);
+  EXPECT_THROW(im2bw(img, -0.1), PreconditionError);
+}
+
+TEST(Im2bw, ColorOverloadMatchesComposition) {
+  const RgbImage card = gen::color_test_card(32, 32, 4);
+  EXPECT_EQ(im2bw(card, 0.5), im2bw(rgb_to_gray(card), 0.5));
+}
+
+TEST(Im2bw, GradientSplitsAtLevel) {
+  const GrayImage ramp = gen::gradient(1, 256, /*horizontal=*/true);
+  const BinaryImage bw = im2bw(ramp, 0.5);
+  // Monotone: once white, stays white.
+  bool seen_white = false;
+  for (Coord c = 0; c < 256; ++c) {
+    if (bw(0, c) != 0) seen_white = true;
+    if (seen_white) {
+      EXPECT_EQ(bw(0, c), 1);
+    }
+  }
+  EXPECT_TRUE(seen_white);
+  EXPECT_EQ(bw(0, 0), 0);
+}
+
+TEST(Otsu, SeparatesBimodalHistogram) {
+  // Two well-separated populations: values near 40 and near 200.
+  GrayImage img(20, 20);
+  for (Coord r = 0; r < 20; ++r) {
+    for (Coord c = 0; c < 20; ++c) {
+      img(r, c) = static_cast<std::uint8_t>(r < 10 ? 40 + (c % 3)
+                                                   : 200 + (c % 3));
+    }
+  }
+  const double level = otsu_level(img);
+  EXPECT_GE(level * 255.0, 42.0);  // at or above the dark population
+  EXPECT_LT(level * 255.0, 200.0);
+  // Binarizing at the Otsu level splits exactly into the two halves.
+  const BinaryImage bw = im2bw(img, level);
+  for (Coord c = 0; c < 20; ++c) {
+    EXPECT_EQ(bw(0, c), 0);
+    EXPECT_EQ(bw(19, c), 1);
+  }
+}
+
+TEST(Otsu, UniformImageYieldsValidLevel) {
+  GrayImage img(8, 8, 77);
+  const double level = otsu_level(img);
+  EXPECT_GE(level, 0.0);
+  EXPECT_LE(level, 1.0);
+  EXPECT_THROW((void)otsu_level(GrayImage()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace paremsp

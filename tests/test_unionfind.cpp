@@ -1,0 +1,316 @@
+// Unit + property tests for the sequential union-find family:
+// REM with splicing (the paper's REMSP), the policy-based variants, Wu's
+// array union-find, and FLATTEN (Algorithm 3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "unionfind/policies.hpp"
+#include "unionfind/rem.hpp"
+#include "unionfind/wu_equivalence.hpp"
+
+namespace paremsp::uf {
+namespace {
+
+// --- Reference implementation (deliberately naive) --------------------------
+
+/// Quick-find reference: explicit set ids, O(n) unite. Slow but obviously
+/// correct; every real structure is compared against it.
+class ReferenceDsu {
+ public:
+  explicit ReferenceDsu(Label n) : set_(static_cast<std::size_t>(n)) {
+    std::iota(set_.begin(), set_.end(), 0);
+  }
+  void unite(Label x, Label y) {
+    const Label sx = set_[static_cast<std::size_t>(x)];
+    const Label sy = set_[static_cast<std::size_t>(y)];
+    if (sx == sy) return;
+    for (auto& s : set_) {
+      if (s == sy) s = sx;
+    }
+  }
+  [[nodiscard]] bool same(Label x, Label y) const {
+    return set_[static_cast<std::size_t>(x)] ==
+           set_[static_cast<std::size_t>(y)];
+  }
+
+ private:
+  std::vector<Label> set_;
+};
+
+/// Type-erased handle over any union-find flavour under test.
+struct AnyDsu {
+  std::string name;
+  std::function<void(Label)> reset;
+  std::function<Label(Label, Label)> unite;
+  std::function<Label(Label)> find;
+};
+
+template <class Uf>
+AnyDsu wrap(std::string name) {
+  auto uf = std::make_shared<Uf>();
+  return AnyDsu{
+      std::move(name),
+      [uf](Label n) { uf->reset(n); },
+      [uf](Label x, Label y) { return uf->unite(x, y); },
+      [uf](Label x) { return uf->find(x); },
+  };
+}
+
+std::vector<AnyDsu> all_variants() {
+  std::vector<AnyDsu> v;
+  v.push_back(wrap<RemSplice>("rem+splice"));
+  v.push_back(wrap<UfIndexNoComp>(UfIndexNoComp::name()));
+  v.push_back(wrap<UfIndexPc>(UfIndexPc::name()));
+  v.push_back(wrap<UfIndexHalve>(UfIndexHalve::name()));
+  v.push_back(wrap<UfIndexSplit>(UfIndexSplit::name()));
+  v.push_back(wrap<UfRankNoComp>(UfRankNoComp::name()));
+  v.push_back(wrap<UfRankPc>(UfRankPc::name()));
+  v.push_back(wrap<UfRankHalve>(UfRankHalve::name()));
+  v.push_back(wrap<UfRankSplit>(UfRankSplit::name()));
+  v.push_back(wrap<UfSizePc>(UfSizePc::name()));
+  return v;
+}
+
+// --- Parameterized property suite over every variant -------------------------
+
+class UnionFindVariant : public ::testing::TestWithParam<int> {
+ protected:
+  AnyDsu dsu() const {
+    return all_variants()[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(UnionFindVariant, SingletonsAreTheirOwnRoots) {
+  auto d = dsu();
+  d.reset(17);
+  for (Label i = 0; i < 17; ++i) EXPECT_EQ(d.find(i), i);
+}
+
+TEST_P(UnionFindVariant, UniteConnectsAndFindAgrees) {
+  auto d = dsu();
+  d.reset(10);
+  d.unite(2, 7);
+  EXPECT_EQ(d.find(2), d.find(7));
+  EXPECT_NE(d.find(2), d.find(3));
+  d.unite(7, 3);
+  EXPECT_EQ(d.find(3), d.find(2));
+}
+
+TEST_P(UnionFindVariant, UniteIsIdempotent) {
+  auto d = dsu();
+  d.reset(6);
+  d.unite(1, 4);
+  const Label r1 = d.find(1);
+  d.unite(1, 4);
+  d.unite(4, 1);
+  EXPECT_EQ(d.find(1), r1);
+  EXPECT_EQ(d.find(4), r1);
+}
+
+TEST_P(UnionFindVariant, ChainUnionCollapsesToOneSet) {
+  auto d = dsu();
+  constexpr Label n = 257;
+  d.reset(n);
+  for (Label i = 0; i + 1 < n; ++i) d.unite(i, i + 1);
+  const Label root = d.find(0);
+  for (Label i = 0; i < n; ++i) EXPECT_EQ(d.find(i), root);
+}
+
+TEST_P(UnionFindVariant, ReverseChainCollapsesToOneSet) {
+  auto d = dsu();
+  constexpr Label n = 257;
+  d.reset(n);
+  for (Label i = n - 1; i > 0; --i) d.unite(i, i - 1);
+  const Label root = d.find(n - 1);
+  for (Label i = 0; i < n; ++i) EXPECT_EQ(d.find(i), root);
+}
+
+TEST_P(UnionFindVariant, MatchesReferenceOnRandomWorkloads) {
+  auto d = dsu();
+  Xoshiro256 rng(0xC0FFEE ^ static_cast<std::uint64_t>(GetParam()));
+  for (int round = 0; round < 8; ++round) {
+    const Label n = static_cast<Label>(rng.next_in(2, 300));
+    d.reset(n);
+    ReferenceDsu ref(n);
+    const int ops = static_cast<int>(rng.next_in(1, 4 * n));
+    for (int i = 0; i < ops; ++i) {
+      const Label x = static_cast<Label>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      const Label y = static_cast<Label>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      d.unite(x, y);
+      ref.unite(x, y);
+    }
+    for (int i = 0; i < 200; ++i) {
+      const Label x = static_cast<Label>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      const Label y = static_cast<Label>(rng.next_below(
+          static_cast<std::uint64_t>(n)));
+      EXPECT_EQ(d.find(x) == d.find(y), ref.same(x, y))
+          << "x=" << x << " y=" << y << " n=" << n;
+    }
+  }
+}
+
+TEST_P(UnionFindVariant, OutOfRangeThrows) {
+  auto d = dsu();
+  d.reset(5);
+  EXPECT_THROW((void)d.find(5), PreconditionError);
+  EXPECT_THROW((void)d.find(-1), PreconditionError);
+  EXPECT_THROW((void)d.unite(0, 5), PreconditionError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, UnionFindVariant, ::testing::Range(0, 10),
+    [](const ::testing::TestParamInfo<int>& info) {
+      std::string n = all_variants()[static_cast<std::size_t>(info.param)].name;
+      std::replace(n.begin(), n.end(), '+', '_');
+      return n;
+    });
+
+// --- REM-specific invariants --------------------------------------------------
+
+TEST(RemSplice, ParentsNeverExceedChildren) {
+  Xoshiro256 rng(99);
+  RemSplice d(200);
+  for (int i = 0; i < 2000; ++i) {
+    d.unite(static_cast<Label>(rng.next_below(200)),
+            static_cast<Label>(rng.next_below(200)));
+    if (i % 100 == 0) {
+      const auto p = d.parents();
+      for (Label j = 0; j < 200; ++j) {
+        ASSERT_LE(p[static_cast<std::size_t>(j)], j)
+            << "REM invariant violated at " << j;
+      }
+    }
+  }
+}
+
+TEST(RemSplice, RootIsMinimumOfComponent) {
+  Xoshiro256 rng(7);
+  RemSplice d(128);
+  ReferenceDsu ref(128);
+  for (int i = 0; i < 500; ++i) {
+    const Label x = static_cast<Label>(rng.next_below(128));
+    const Label y = static_cast<Label>(rng.next_below(128));
+    d.unite(x, y);
+    ref.unite(x, y);
+  }
+  for (Label i = 0; i < 128; ++i) {
+    Label expected_min = i;
+    for (Label j = 0; j < 128; ++j) {
+      if (ref.same(i, j)) expected_min = std::min(expected_min, j);
+    }
+    EXPECT_EQ(d.find(i), expected_min);
+  }
+}
+
+TEST(RemSplice, UniteReturnsCommonRootParent) {
+  RemSplice d(10);
+  EXPECT_EQ(d.unite(3, 8), 3);
+  EXPECT_EQ(d.unite(8, 1), 1);
+  EXPECT_EQ(d.unite(3, 1), 1);  // already same set: returns the root
+}
+
+// --- FLATTEN (Algorithm 3) ------------------------------------------------------
+
+TEST(RemFlatten, AssignsConsecutiveLabelsInRootOrder) {
+  // Labels 1..6; components {1,3}, {2,5,6}, {4}.
+  std::vector<Label> p(7);
+  for (Label i = 0; i <= 6; ++i) p[static_cast<std::size_t>(i)] = i;
+  rem_unite(p.data(), 1, 3);
+  rem_unite(p.data(), 2, 5);
+  rem_unite(p.data(), 5, 6);
+  const Label n = rem_flatten(p.data(), 6);
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(p[1], 1);  // root 1 -> final 1
+  EXPECT_EQ(p[3], 1);
+  EXPECT_EQ(p[2], 2);  // root 2 -> final 2
+  EXPECT_EQ(p[5], 2);
+  EXPECT_EQ(p[6], 2);
+  EXPECT_EQ(p[4], 3);  // root 4 -> final 3
+}
+
+TEST(RemFlatten, AllSingletons) {
+  std::vector<Label> p(5);
+  for (Label i = 0; i <= 4; ++i) p[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(rem_flatten(p.data(), 4), 4);
+  for (Label i = 1; i <= 4; ++i) EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RemFlatten, OneBigComponent) {
+  constexpr Label n = 100;
+  std::vector<Label> p(n + 1);
+  for (Label i = 0; i <= n; ++i) p[static_cast<std::size_t>(i)] = i;
+  for (Label i = 1; i < n; ++i) rem_unite(p.data(), i, i + 1);
+  EXPECT_EQ(rem_flatten(p.data(), n), 1);
+  for (Label i = 1; i <= n; ++i) EXPECT_EQ(p[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(RemFlatten, EmptyRange) {
+  std::vector<Label> p(1, 0);
+  EXPECT_EQ(rem_flatten(p.data(), 0), 0);
+}
+
+// --- Wu's array union-find ------------------------------------------------------
+
+TEST(WuEquivalence, FindCompressesPaths) {
+  std::vector<Label> p{0, 1, 1, 2, 3};  // chain 4->3->2->1
+  EXPECT_EQ(wu_find(p.data(), 4), 1);
+  EXPECT_EQ(p[4], 1);  // fully compressed
+  EXPECT_EQ(p[3], 1);
+  EXPECT_EQ(p[2], 1);
+}
+
+TEST(WuEquivalence, UniteKeepsMinimumAsRoot) {
+  std::vector<Label> p(10);
+  std::iota(p.begin(), p.end(), 0);
+  EXPECT_EQ(wu_unite(p.data(), 7, 2), 2);
+  EXPECT_EQ(wu_unite(p.data(), 2, 9), 2);
+  EXPECT_EQ(wu_unite(p.data(), 9, 1), 1);
+  EXPECT_EQ(wu_find(p.data(), 7), 1);
+}
+
+TEST(WuEquivalence, PreservesParentLeIndexInvariant) {
+  Xoshiro256 rng(4242);
+  std::vector<Label> p(300);
+  std::iota(p.begin(), p.end(), 0);
+  for (int i = 0; i < 3000; ++i) {
+    wu_unite(p.data(), static_cast<Label>(rng.next_below(300)),
+             static_cast<Label>(rng.next_below(300)));
+    if (i % 250 == 0) {
+      for (Label j = 0; j < 300; ++j) {
+        ASSERT_LE(p[static_cast<std::size_t>(j)], j);
+      }
+    }
+  }
+}
+
+TEST(WuEquivalence, MatchesRemPartitions) {
+  Xoshiro256 rng(31337);
+  constexpr Label n = 150;
+  std::vector<Label> wu(n);
+  std::iota(wu.begin(), wu.end(), 0);
+  RemSplice rem(n);
+  for (int i = 0; i < 1000; ++i) {
+    const Label x = static_cast<Label>(rng.next_below(n));
+    const Label y = static_cast<Label>(rng.next_below(n));
+    wu_unite(wu.data(), x, y);
+    rem.unite(x, y);
+  }
+  for (Label i = 0; i < n; ++i) {
+    // Both keep the component minimum as root.
+    EXPECT_EQ(wu_find(wu.data(), i), rem.find(i));
+  }
+}
+
+}  // namespace
+}  // namespace paremsp::uf

@@ -1,0 +1,163 @@
+// Concurrency tests for the parallel REM mergers (paper Algorithm 8 and
+// the CAS variant): many threads hammer the same parent array; the final
+// partition must equal what sequential REM produces, under every backend,
+// schedule, and lock-stripe configuration.
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "unionfind/lock_pool.hpp"
+#include "unionfind/parallel_rem.hpp"
+#include "unionfind/rem.hpp"
+
+namespace paremsp::uf {
+namespace {
+
+using Edge = std::pair<Label, Label>;
+
+std::vector<Edge> random_edges(Label n, int count, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    edges.emplace_back(
+        static_cast<Label>(rng.next_below(static_cast<std::uint64_t>(n))),
+        static_cast<Label>(rng.next_below(static_cast<std::uint64_t>(n))));
+  }
+  return edges;
+}
+
+std::vector<Label> sequential_roots(Label n, const std::vector<Edge>& edges) {
+  std::vector<Label> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  for (const auto& [x, y] : edges) rem_unite(p.data(), x, y);
+  std::vector<Label> roots(static_cast<std::size_t>(n));
+  for (Label i = 0; i < n; ++i) roots[static_cast<std::size_t>(i)] =
+      rem_find(p.data(), i);
+  return roots;
+}
+
+enum class Backend { Locked, Cas };
+
+void run_parallel(Backend backend, Label n, const std::vector<Edge>& edges,
+                  std::vector<Label>& p, int threads, int lock_bits) {
+  p.resize(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  const auto m = static_cast<std::int64_t>(edges.size());
+  if (backend == Backend::Locked) {
+    LockPool locks(lock_bits);
+#pragma omp parallel for schedule(static) num_threads(threads)
+    for (std::int64_t i = 0; i < m; ++i) {
+      locked_unite(p.data(), locks, edges[static_cast<std::size_t>(i)].first,
+                   edges[static_cast<std::size_t>(i)].second);
+    }
+  } else {
+#pragma omp parallel for schedule(static) num_threads(threads)
+    for (std::int64_t i = 0; i < m; ++i) {
+      cas_unite(p.data(), edges[static_cast<std::size_t>(i)].first,
+                edges[static_cast<std::size_t>(i)].second);
+    }
+  }
+}
+
+class ParallelMerge
+    : public ::testing::TestWithParam<std::tuple<Backend, int, int>> {};
+
+TEST_P(ParallelMerge, PartitionMatchesSequentialRem) {
+  const auto [backend, threads, lock_bits] = GetParam();
+  constexpr Label n = 2000;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto edges = random_edges(n, 6000, seed);
+    const auto expected = sequential_roots(n, edges);
+
+    std::vector<Label> p;
+    run_parallel(backend, n, edges, p, threads, lock_bits);
+    for (Label i = 0; i < n; ++i) {
+      ASSERT_EQ(rem_find(p.data(), i), expected[static_cast<std::size_t>(i)])
+          << "element " << i << " seed " << seed;
+    }
+  }
+}
+
+TEST_P(ParallelMerge, HighContentionSingleComponent) {
+  const auto [backend, threads, lock_bits] = GetParam();
+  // Every edge touches a hub: worst case for root-lock contention.
+  constexpr Label n = 1024;
+  std::vector<Edge> edges;
+  for (Label i = 1; i < n; ++i) edges.emplace_back(0, i);
+  for (Label i = 1; i < n; ++i) edges.emplace_back(i, n - i);
+
+  std::vector<Label> p;
+  run_parallel(backend, n, edges, p, threads, lock_bits);
+  for (Label i = 0; i < n; ++i) {
+    ASSERT_EQ(rem_find(p.data(), i), 0);
+  }
+}
+
+TEST_P(ParallelMerge, ChainWorkload) {
+  const auto [backend, threads, lock_bits] = GetParam();
+  // Long chains maximize splicing activity.
+  constexpr Label n = 4096;
+  std::vector<Edge> edges;
+  for (Label i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+
+  std::vector<Label> p;
+  run_parallel(backend, n, edges, p, threads, lock_bits);
+  for (Label i = 0; i < n; ++i) {
+    ASSERT_EQ(rem_find(p.data(), i), 0);
+  }
+}
+
+TEST_P(ParallelMerge, ParentsStayBelowIndices) {
+  const auto [backend, threads, lock_bits] = GetParam();
+  constexpr Label n = 3000;
+  const auto edges = random_edges(n, 9000, 0xFEED);
+  std::vector<Label> p;
+  run_parallel(backend, n, edges, p, threads, lock_bits);
+  for (Label i = 0; i < n; ++i) {
+    ASSERT_LE(p[static_cast<std::size_t>(i)], i) << "REM invariant broken";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ParallelMerge,
+    ::testing::Combine(::testing::Values(Backend::Locked, Backend::Cas),
+                       ::testing::Values(2, 4, 8),
+                       ::testing::Values(2, 12)),
+    [](const auto& pinfo) {
+      std::string name =
+          std::get<0>(pinfo.param) == Backend::Locked ? "locked" : "cas";
+      name += "_t" + std::to_string(std::get<1>(pinfo.param));
+      name += "_b" + std::to_string(std::get<2>(pinfo.param));
+      return name;
+    });
+
+TEST(LockPool, StripesCoverAllIndices) {
+  LockPool pool(4);
+  EXPECT_EQ(pool.stripe_count(), 16u);
+  // Every index maps to some lock; adjacent indices spread out.
+  for (Label i = 0; i < 1000; ++i) {
+    EXPECT_NE(pool.lock_for(i), nullptr);
+  }
+}
+
+TEST(LockPool, GuardIsReentrantAcrossDifferentStripes) {
+  LockPool pool(8);
+  {
+    LockPool::Guard g1(pool, 1);
+    // A second guard on a (very likely) different stripe must not deadlock.
+    LockPool::Guard g2(pool, 7777);
+  }
+  SUCCEED();
+}
+
+TEST(LockPool, RejectsOutOfRangeBits) {
+  EXPECT_THROW(LockPool(-1), PreconditionError);
+  EXPECT_THROW(LockPool(30), PreconditionError);
+}
+
+}  // namespace
+}  // namespace paremsp::uf
