@@ -1,20 +1,30 @@
 #include "baselines/ccllrpc.hpp"
 
-#include <vector>
+#include <span>
 
 #include "common/timer.hpp"
+#include "core/label_scratch.hpp"
 #include "core/scan_one_line.hpp"
 #include "unionfind/rem.hpp"
 
 namespace paremsp {
 
 LabelingResult CcllrpcLabeler::label(const BinaryImage& image) const {
+  LabelScratch scratch;
+  return label_into(image, scratch);
+}
+
+LabelingResult CcllrpcLabeler::label_into(const BinaryImage& image,
+                                          LabelScratch& scratch) const {
   const WallTimer total;
   LabelingResult result;
-  result.labels = LabelImage(image.rows(), image.cols());
+  result.labels =
+      scratch.acquire_plane(image.rows(), image.cols(),
+                            LabelScratch::PlaneInit::Dirty);
   if (image.size() == 0) return result;
 
-  std::vector<Label> p(static_cast<std::size_t>(image.size()) + 1);
+  std::span<Label> p =
+      scratch.parents(static_cast<std::size_t>(image.size()) + 1);
 
   WallTimer phase;
   WuEquiv eq(p);

@@ -1,16 +1,23 @@
 #include "baselines/flood_fill.hpp"
 
-#include <vector>
+#include <span>
 
 #include "common/timer.hpp"
+#include "core/label_scratch.hpp"
 #include "image/connectivity.hpp"
 
 namespace paremsp {
 
 LabelingResult FloodFillLabeler::label(const BinaryImage& image) const {
+  LabelScratch scratch;
+  return label_into(image, scratch);
+}
+
+LabelingResult FloodFillLabeler::label_into(const BinaryImage& image,
+                                            LabelScratch& scratch) const {
   const WallTimer total;
   LabelingResult result;
-  result.labels = LabelImage(image.rows(), image.cols());
+  result.labels = scratch.acquire_plane(image.rows(), image.cols());
   if (image.size() == 0) return result;
 
   const Coord rows = image.rows();
@@ -18,8 +25,21 @@ LabelingResult FloodFillLabeler::label(const BinaryImage& image) const {
   LabelImage& labels = result.labels;
   const auto offsets = neighbors(connectivity_);
 
-  std::vector<std::pair<Coord, Coord>> queue;
-  queue.reserve(1024);
+  // BFS queue of flat pixel indices, reset per component so its capacity
+  // tracks the largest component (like the old std::vector queue did),
+  // not the whole image; it doubles on demand and the high-water mark is
+  // reused allocation-free across a warm scratch.
+  const auto n = static_cast<std::size_t>(image.size());
+  std::span<Label> queue = scratch.aux(std::min<std::size_t>(n, 1024));
+  std::int64_t head = 0;
+  std::int64_t tail = 0;
+  const auto push = [&](Coord r, Coord c) {
+    if (static_cast<std::size_t>(tail) == queue.size()) {
+      // aux() preserves existing contents when it grows.
+      queue = scratch.aux(std::min<std::size_t>(n, queue.size() * 2));
+    }
+    queue[static_cast<std::size_t>(tail++)] = r * cols + c;
+  };
   Label next_label = 0;
 
   for (Coord r0 = 0; r0 < rows; ++r0) {
@@ -27,17 +47,19 @@ LabelingResult FloodFillLabeler::label(const BinaryImage& image) const {
       if (image(r0, c0) == 0 || labels(r0, c0) != 0) continue;
       ++next_label;
       labels(r0, c0) = next_label;
-      queue.clear();
-      queue.emplace_back(r0, c0);
-      for (std::size_t head = 0; head < queue.size(); ++head) {
-        const auto [r, c] = queue[head];
+      head = tail = 0;
+      push(r0, c0);
+      for (; head < tail; ++head) {
+        const Label idx = queue[static_cast<std::size_t>(head)];
+        const Coord r = idx / cols;
+        const Coord c = idx % cols;
         for (const auto& d : offsets) {
           const Coord nr = r + d.dr;
           const Coord nc = c + d.dc;
           if (!image.in_bounds(nr, nc)) continue;
           if (image(nr, nc) == 0 || labels(nr, nc) != 0) continue;
           labels(nr, nc) = next_label;
-          queue.emplace_back(nr, nc);
+          push(nr, nc);
         }
       }
     }

@@ -20,6 +20,8 @@ class FloodFillLabeler final : public Labeler {
     return "floodfill";
   }
   [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
+  [[nodiscard]] LabelingResult label_into(
+      const BinaryImage& image, LabelScratch& scratch) const override;
 
  private:
   Connectivity connectivity_;

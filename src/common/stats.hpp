@@ -45,4 +45,16 @@ struct Summary {
 /// Summarize a sample vector. Empty input yields an all-zero Summary.
 [[nodiscard]] Summary summarize(std::span<const double> samples);
 
+/// The p-th percentile (p in [0, 100]) of `samples` by linear
+/// interpolation between closest ranks (the numpy "linear" method, so
+/// percentile(s, 50) == Summary::median). Empty input yields 0. The input
+/// need not be sorted; the engine's latency snapshots (p50/p99) and the
+/// throughput bench use this.
+[[nodiscard]] double percentile(std::span<const double> samples, double p);
+
+/// percentile() for callers that already hold an ascending-sorted sample
+/// buffer (avoids the copy + sort per call).
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double p);
+
 }  // namespace paremsp

@@ -1,9 +1,10 @@
 #include "core/aremsp.hpp"
 
-#include <vector>
+#include <span>
 
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
+#include "core/label_scratch.hpp"
 #include "core/scan_two_line.hpp"
 #include "unionfind/rem.hpp"
 
@@ -15,12 +16,21 @@ AremspLabeler::AremspLabeler(Connectivity connectivity) {
 }
 
 LabelingResult AremspLabeler::label(const BinaryImage& image) const {
+  LabelScratch scratch;
+  return label_into(image, scratch);
+}
+
+LabelingResult AremspLabeler::label_into(const BinaryImage& image,
+                                         LabelScratch& scratch) const {
   const WallTimer total;
   LabelingResult result;
-  result.labels = LabelImage(image.rows(), image.cols());
+  result.labels =
+      scratch.acquire_plane(image.rows(), image.cols(),
+                            LabelScratch::PlaneInit::Dirty);
   if (image.size() == 0) return result;
 
-  std::vector<Label> p(static_cast<std::size_t>(image.size()) + 1);
+  std::span<Label> p =
+      scratch.parents(static_cast<std::size_t>(image.size()) + 1);
 
   WallTimer phase;
   RemEquiv eq(p);

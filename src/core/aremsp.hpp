@@ -20,6 +20,8 @@ class AremspLabeler final : public Labeler {
     return "aremsp";
   }
   [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
+  [[nodiscard]] LabelingResult label_into(
+      const BinaryImage& image, LabelScratch& scratch) const override;
 };
 
 }  // namespace paremsp

@@ -1,22 +1,32 @@
 #include "core/cclremsp.hpp"
 
-#include <vector>
+#include <span>
 
 #include "common/timer.hpp"
+#include "core/label_scratch.hpp"
 #include "core/scan_one_line.hpp"
 #include "unionfind/rem.hpp"
 
 namespace paremsp {
 
 LabelingResult CclremspLabeler::label(const BinaryImage& image) const {
+  LabelScratch scratch;
+  return label_into(image, scratch);
+}
+
+LabelingResult CclremspLabeler::label_into(const BinaryImage& image,
+                                           LabelScratch& scratch) const {
   const WallTimer total;
   LabelingResult result;
-  result.labels = LabelImage(image.rows(), image.cols());
+  result.labels =
+      scratch.acquire_plane(image.rows(), image.cols(),
+                            LabelScratch::PlaneInit::Dirty);
   if (image.size() == 0) return result;
 
   // Provisional labels are at most one per no-prior-neighbor pixel; the
   // full pixel count is a safe (and simple) upper bound.
-  std::vector<Label> p(static_cast<std::size_t>(image.size()) + 1);
+  std::span<Label> p =
+      scratch.parents(static_cast<std::size_t>(image.size()) + 1);
 
   WallTimer phase;
   RemEquiv eq(p);

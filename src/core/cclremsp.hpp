@@ -20,6 +20,8 @@ class CclremspLabeler final : public Labeler {
     return "cclremsp";
   }
   [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
+  [[nodiscard]] LabelingResult label_into(
+      const BinaryImage& image, LabelScratch& scratch) const override;
 
  private:
   Connectivity connectivity_;

@@ -17,6 +17,8 @@
 
 namespace paremsp {
 
+class LabelScratch;  // core/label_scratch.hpp
+
 /// Wall-clock breakdown of one labeling run, in milliseconds.
 struct PhaseTimings {
   double scan_ms = 0.0;     // Phase I: provisional labels + local equivalences
@@ -54,6 +56,19 @@ class Labeler {
   /// Label all connected components of `image`.
   /// Postcondition: result passes analysis::validate_labeling.
   [[nodiscard]] virtual LabelingResult label(const BinaryImage& image) const = 0;
+
+  /// Label `image` using `scratch` for all transient storage, so repeated
+  /// calls on a warm LabelScratch run allocation-free on the hot path.
+  /// The labeling is bit-identical to label() — scratch only changes where
+  /// the buffers come from, never the result (the engine tests assert
+  /// this for every algorithm). Overridden by the algorithms that support
+  /// workspace reuse (AlgorithmInfo::scratch_reuse in the registry); the
+  /// default ignores `scratch` and allocates per call like label().
+  [[nodiscard]] virtual LabelingResult label_into(
+      const BinaryImage& image, LabelScratch& scratch) const {
+    (void)scratch;
+    return label(image);
+  }
 };
 
 }  // namespace paremsp

@@ -3,10 +3,12 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
+#include "core/label_scratch.hpp"
 #include "core/scan_one_line.hpp"
 #include "core/scan_two_line.hpp"
 #include "unionfind/parallel_rem.hpp"
@@ -85,9 +87,17 @@ ParemspLabeler::ParemspLabeler(ParemspConfig config) : config_(config) {
 }
 
 LabelingResult ParemspLabeler::label(const BinaryImage& image) const {
+  LabelScratch scratch;
+  return label_into(image, scratch);
+}
+
+LabelingResult ParemspLabeler::label_into(const BinaryImage& image,
+                                          LabelScratch& scratch) const {
   const WallTimer total;
   LabelingResult result;
-  result.labels = LabelImage(image.rows(), image.cols());
+  result.labels =
+      scratch.acquire_plane(image.rows(), image.cols(),
+                            LabelScratch::PlaneInit::Dirty);
   if (image.size() == 0) return result;
 
   const Coord rows = image.rows();
@@ -99,7 +109,8 @@ LabelingResult ParemspLabeler::label(const BinaryImage& image) const {
       requested, 1, static_cast<int>(std::max<Coord>(rows / 2, 1)));
 
   std::vector<Chunk> chunks = make_chunks(rows, cols, nchunks);
-  std::vector<Label> p(static_cast<std::size_t>(image.size()) + 1);
+  std::span<Label> p =
+      scratch.parents(static_cast<std::size_t>(image.size()) + 1);
   LabelImage& labels = result.labels;
 
   // --- Phase I: concurrent chunk-local scans --------------------------------

@@ -71,6 +71,8 @@ class ParemspLabeler final : public Labeler {
   }
   [[nodiscard]] bool is_parallel() const noexcept override { return true; }
   [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
+  [[nodiscard]] LabelingResult label_into(
+      const BinaryImage& image, LabelScratch& scratch) const override;
 
   [[nodiscard]] const ParemspConfig& config() const noexcept {
     return config_;

@@ -22,10 +22,12 @@
 #include "core/aremsp.hpp"
 #include "core/cclremsp.hpp"
 #include "core/grayscale.hpp"
+#include "core/label_scratch.hpp"
 #include "core/labeling.hpp"
 #include "core/paremsp.hpp"
 #include "core/paremsp_tiled.hpp"
 #include "core/registry.hpp"
+#include "engine/engine.hpp"
 #include "image/ascii.hpp"
 #include "image/connectivity.hpp"
 #include "image/generators.hpp"

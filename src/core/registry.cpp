@@ -21,25 +21,30 @@ namespace {
 
 constexpr std::array<AlgorithmInfo, 10> kCatalog{{
     {Algorithm::FloodFill, "floodfill",
-     "BFS flood fill (ground-truth oracle)", false, true, false},
+     "BFS flood fill (ground-truth oracle)", false, true, false, true},
     {Algorithm::Suzuki, "suzuki",
-     "Suzuki 2003 multi-pass with 1-D connection table", false, true, false},
+     "Suzuki 2003 multi-pass with 1-D connection table", false, true, false,
+     false},
     {Algorithm::SuzukiParallel, "psuzuki",
-     "chunked parallel multi-pass (after Niknam et al.)", true, true, false},
+     "chunked parallel multi-pass (after Niknam et al.)", true, true, false,
+     false},
     {Algorithm::Run, "run", "He 2008 run-based two-scan (rtable)", false,
-     false, false},
+     false, false, false},
     {Algorithm::Arun, "arun", "He 2012 two-line two-scan (rtable)", false,
-     false, false},
+     false, false, false},
     {Algorithm::Ccllrpc, "ccllrpc",
-     "Wu 2009 decision tree + array union-find", false, true, false},
+     "Wu 2009 decision tree + array union-find", false, true, false, true},
     {Algorithm::Cclremsp, "cclremsp",
-     "paper: decision tree + REM splicing union-find", false, true, true},
+     "paper: decision tree + REM splicing union-find", false, true, true,
+     true},
     {Algorithm::Aremsp, "aremsp",
-     "paper: two-line scan + REM splicing union-find", false, false, true},
+     "paper: two-line scan + REM splicing union-find", false, false, true,
+     true},
     {Algorithm::Paremsp, "paremsp",
-     "paper: parallel AREMSP (OpenMP, boundary merge)", true, false, true},
+     "paper: parallel AREMSP (OpenMP, boundary merge)", true, false, true,
+     true},
     {Algorithm::ParemspTiled, "paremsp2d",
-     "extension: 2-D tiled PAREMSP", true, false, false},
+     "extension: 2-D tiled PAREMSP", true, false, false, false},
 }};
 
 }  // namespace

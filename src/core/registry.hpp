@@ -36,6 +36,10 @@ struct AlgorithmInfo {
   bool parallel = false;
   bool supports_four_connectivity = false;
   bool proposed_in_paper = false;  // vs baseline / oracle
+  /// True when label_into() reuses a LabelScratch allocation-free; the
+  /// batch engine runs these on recycled per-worker arenas (the rest fall
+  /// back to per-call allocation with identical results).
+  bool scratch_reuse = false;
 };
 
 /// All algorithms, in the order the paper's tables list them (baselines

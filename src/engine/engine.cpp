@@ -1,0 +1,147 @@
+#include "engine/engine.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace paremsp::engine {
+
+namespace {
+
+int resolved_workers(int requested) {
+  PAREMSP_REQUIRE(requested >= 0, "workers must be >= 0");
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+LabelingEngine::LabelingEngine(EngineConfig config)
+    : config_(config), queue_(config.queue_capacity) {
+  const int n = resolved_workers(config_.workers);
+  // Validate the algorithm/options combination up front, on the caller's
+  // thread, so a bad config throws here instead of poisoning every job.
+  (void)make_labeler(config_.algorithm, config_.labeler);
+
+  arenas_.reserve(static_cast<std::size_t>(n));
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    arenas_.push_back(std::make_unique<ScratchArena>());
+  }
+  try {
+    for (int i = 0; i < n; ++i) {
+      threads_.emplace_back(
+          [this, i] { worker_main(*arenas_[static_cast<std::size_t>(i)]); });
+    }
+  } catch (...) {
+    // A failed std::thread spawn (resource exhaustion) must not leave the
+    // already-started workers joinable — that would terminate the process
+    // in ~threads_ instead of surfacing the error to the caller.
+    shutdown();
+    throw;
+  }
+}
+
+LabelingEngine::~LabelingEngine() { shutdown(); }
+
+std::future<LabelingResult> LabelingEngine::submit(BinaryImage image) {
+  return enqueue(Job{std::move(image), nullptr,
+                     std::promise<LabelingResult>{},
+                     EngineStats::Clock::now()});
+}
+
+std::future<LabelingResult> LabelingEngine::submit_view(
+    const BinaryImage& image) {
+  return enqueue(Job{BinaryImage{}, &image, std::promise<LabelingResult>{},
+                     EngineStats::Clock::now()});
+}
+
+std::future<LabelingResult> LabelingEngine::enqueue(Job job) {
+  std::future<LabelingResult> future = job.promise.get_future();
+  stats_.record_submission(job.submitted_at);
+  if (!queue_.push(std::move(job))) {
+    stats_.record_submission_aborted();
+    throw PreconditionError("LabelingEngine::submit after shutdown");
+  }
+  return future;
+}
+
+std::vector<std::future<LabelingResult>> LabelingEngine::submit_batch(
+    std::vector<BinaryImage> images) {
+  std::vector<std::future<LabelingResult>> futures;
+  futures.reserve(images.size());
+  for (BinaryImage& image : images) {
+    futures.push_back(submit(std::move(image)));
+  }
+  return futures;
+}
+
+void LabelingEngine::recycle(LabelImage&& plane) {
+  std::lock_guard lock(recycled_mutex_);
+  // Parking more planes than the pool can adopt soon just hoards memory.
+  if (recycled_planes_.size() < threads_.size() * 4) {
+    recycled_planes_.push_back(std::move(plane));
+  }
+}
+
+void LabelingEngine::shutdown() {
+  queue_.close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+EngineStatsSnapshot LabelingEngine::stats() const {
+  EngineStatsSnapshot s = stats_.snapshot();
+  for (const auto& arena : arenas_) {
+    const ArenaStats a = arena->stats();
+    s.scratch_reserved_bytes += a.reserved_bytes;
+    s.scratch_grow_count += a.grow_count;
+    s.plane_reuses += a.plane_reuses;
+  }
+  return s;
+}
+
+void LabelingEngine::maybe_adopt_recycled(ScratchArena& arena) {
+  LabelImage plane;
+  {
+    std::lock_guard lock(recycled_mutex_);
+    if (recycled_planes_.empty()) return;
+    plane = std::move(recycled_planes_.back());
+    recycled_planes_.pop_back();
+  }
+  arena.adopt_plane(std::move(plane));
+}
+
+void LabelingEngine::worker_main(ScratchArena& arena) {
+  // One labeler per worker for its whole lifetime: constructing e.g.
+  // PAREMSP's striped lock pool is exactly the per-call overhead this
+  // engine exists to amortize.
+  const std::unique_ptr<Labeler> labeler =
+      make_labeler(config_.algorithm, config_.labeler);
+
+  while (auto job = queue_.pop()) {
+    maybe_adopt_recycled(arena);
+    const std::int64_t pixels = job->image().size();
+    bool failed = false;
+    try {
+      LabelingResult result =
+          labeler->label_into(job->image(), arena.scratch());
+      job->promise.set_value(std::move(result));
+    } catch (...) {
+      failed = true;
+      job->promise.set_exception(std::current_exception());
+    }
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(
+            EngineStats::Clock::now() - job->submitted_at)
+            .count();
+    stats_.record_completion(latency_ms, failed ? 0 : pixels, failed);
+    arena.note_job(failed ? 0 : pixels);
+  }
+}
+
+}  // namespace paremsp::engine

@@ -1,0 +1,133 @@
+// LabelingEngine — a high-throughput batch front end for every registry
+// algorithm.
+//
+// PAREMSP (Algorithm 7) parallelizes one large image across threads; this
+// engine covers the complementary production workload: a heavy stream of
+// small-to-medium images, where per-call scratch allocation and thread
+// spin-up dominate wall clock. It owns a persistent std::thread worker
+// pool fed by a bounded MPMC queue (backpressure: submit blocks when the
+// queue is full); each worker keeps a labeler instance plus a reusable
+// ScratchArena, so the steady state labels images allocation-free through
+// Labeler::label_into. Results are bit-identical to calling label()
+// directly — the engine changes scheduling and memory reuse, never output
+// (tests/test_engine.cpp asserts this per algorithm).
+//
+// Lifecycle: constructor spawns the workers; shutdown() (or destruction)
+// closes the queue, drains every already-accepted job, and joins — every
+// future obtained from submit() is guaranteed to become ready. See
+// DESIGN.md §4 for the architecture discussion.
+//
+//   LabelingEngine eng({.workers = 8});
+//   auto fut = eng.submit(std::move(image));
+//   LabelingResult r = fut.get();
+//   eng.recycle(std::move(r.labels));   // optional: keep arenas warm
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/registry.hpp"
+#include "engine/engine_stats.hpp"
+#include "engine/job_queue.hpp"
+#include "engine/scratch_arena.hpp"
+
+namespace paremsp::engine {
+
+/// Engine construction knobs.
+struct EngineConfig {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int workers = 0;
+  /// Bounded job-queue capacity (backpressure threshold).
+  std::size_t queue_capacity = 1024;
+  /// Algorithm each worker dispatches to. The default is AREMSP — the
+  /// paper's fastest sequential algorithm — because with many images in
+  /// flight, parallelism across images beats parallelism within one
+  /// small image. Pick Algorithm::Paremsp with labeler.threads > 1 when
+  /// the stream contains large images.
+  Algorithm algorithm = Algorithm::Aremsp;
+  /// Options forwarded to make_labeler for each worker's instance.
+  LabelerOptions labeler;
+};
+
+/// Persistent-worker batch labeling engine. Thread-safe: any number of
+/// producer threads may submit concurrently.
+class LabelingEngine {
+ public:
+  explicit LabelingEngine(EngineConfig config = {});
+
+  /// Drains accepted jobs and joins the workers (see shutdown()).
+  ~LabelingEngine();
+
+  LabelingEngine(const LabelingEngine&) = delete;
+  LabelingEngine& operator=(const LabelingEngine&) = delete;
+
+  /// Enqueue one image; the future yields the same LabelingResult a direct
+  /// Labeler::label call would produce. Blocks while the queue is full;
+  /// throws PreconditionError after shutdown().
+  [[nodiscard]] std::future<LabelingResult> submit(BinaryImage image);
+
+  /// Zero-copy submit: the engine only borrows `image`, so the caller must
+  /// keep it alive and unmodified until the returned future is ready
+  /// (batch drivers labeling a fixed corpus skip one image copy per job).
+  [[nodiscard]] std::future<LabelingResult> submit_view(
+      const BinaryImage& image);
+
+  /// Enqueue a batch; futures are index-aligned with `images`.
+  [[nodiscard]] std::vector<std::future<LabelingResult>> submit_batch(
+      std::vector<BinaryImage> images);
+
+  /// Hand a result's label plane back for reuse. Optional: skipping it
+  /// only costs the workers one plane allocation per request.
+  void recycle(LabelImage&& plane);
+
+  /// Stop accepting new jobs, finish every already-accepted one, join the
+  /// workers. Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Throughput/latency/workspace counters, callable mid-run.
+  [[nodiscard]] EngineStatsSnapshot stats() const;
+
+  [[nodiscard]] int workers() const noexcept {
+    return static_cast<int>(threads_.size());
+  }
+  [[nodiscard]] const EngineConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Job {
+    BinaryImage owned;            // the image, unless borrowed
+    const BinaryImage* borrowed;  // caller-kept image (submit_view), or null
+    std::promise<LabelingResult> promise;
+    EngineStats::Clock::time_point submitted_at;
+
+    // Jobs move through the queue, so the owned image must be reached
+    // through the job's current location, never a stored self-pointer.
+    [[nodiscard]] const BinaryImage& image() const noexcept {
+      return borrowed != nullptr ? *borrowed : owned;
+    }
+  };
+
+  [[nodiscard]] std::future<LabelingResult> enqueue(Job job);
+  void worker_main(ScratchArena& arena);
+  void maybe_adopt_recycled(ScratchArena& arena);
+
+  EngineConfig config_;
+  JobQueue<Job> queue_;
+  EngineStats stats_;
+
+  // Client-returned planes waiting for a worker to adopt them. A plain
+  // mutexed stack: recycling is an optimization, contention on it is not
+  // on the labeling path.
+  std::mutex recycled_mutex_;
+  std::vector<LabelImage> recycled_planes_;
+
+  std::vector<std::unique_ptr<ScratchArena>> arenas_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace paremsp::engine

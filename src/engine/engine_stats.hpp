@@ -1,0 +1,149 @@
+// Throughput / latency instrumentation for the batch labeling engine.
+//
+// Workers call record_completion() once per job; stats() folds the
+// counters plus every worker arena's accounting into one snapshot. The
+// latency distribution is kept in a bounded ring (the most recent
+// kLatencyWindow samples) so a long-running engine serving millions of
+// requests neither grows without bound nor pays more than an O(window)
+// sort per snapshot; percentiles come from common/stats.hpp.
+//
+// Throughput is measured over the active window [first submission, last
+// completion] rather than since construction, so an engine that sat idle
+// before the burst still reports the burst's real images_per_sec.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace paremsp::engine {
+
+/// One consistent view of the engine's counters, exposed by
+/// LabelingEngine::stats().
+struct EngineStatsSnapshot {
+  // --- volume --------------------------------------------------------------
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;  // completed with an exception
+  std::int64_t pixels_labeled = 0;
+
+  // --- throughput over the active window -----------------------------------
+  double elapsed_s = 0.0;  // first submission -> last completion
+  double images_per_sec = 0.0;
+  double mpixels_per_sec = 0.0;
+
+  // --- per-request latency (submit -> result ready), milliseconds ----------
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p90_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  // --- workspace accounting (summed over worker arenas) --------------------
+  std::size_t scratch_reserved_bytes = 0;
+  std::uint64_t scratch_grow_count = 0;
+  std::uint64_t plane_reuses = 0;
+};
+
+/// Thread-safe recorder behind the snapshot.
+class EngineStats {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Called by submit() with the job's enqueue timestamp, before the
+  /// queue push (so the throughput window opens no later than the first
+  /// job starts). If the push then fails, record_submission_aborted()
+  /// takes the count back.
+  void record_submission(Clock::time_point at) {
+    std::lock_guard lock(mutex_);
+    if (submitted_ == 0 || at < first_submit_) first_submit_ = at;
+    ++submitted_;
+  }
+
+  /// Undo one record_submission() whose job was never accepted (the queue
+  /// was closed between the stamp and the push).
+  void record_submission_aborted() {
+    std::lock_guard lock(mutex_);
+    --submitted_;
+  }
+
+  /// Called by a worker once a job's promise is fulfilled.
+  void record_completion(double latency_ms, std::int64_t pixels,
+                         bool failed) {
+    std::lock_guard lock(mutex_);
+    ++completed_;
+    if (failed) ++failed_;
+    pixels_ += pixels;
+    last_complete_ = Clock::now();
+    latency_total_ms_ += latency_ms;
+    latency_max_ms_ = std::max(latency_max_ms_, latency_ms);
+    if (latencies_.size() < kLatencyWindow) {
+      latencies_.push_back(latency_ms);
+    } else {
+      latencies_[next_slot_] = latency_ms;
+    }
+    next_slot_ = (next_slot_ + 1) % kLatencyWindow;
+  }
+
+  /// Volume/throughput/latency part of the snapshot (the engine fills in
+  /// the arena fields from its workers).
+  [[nodiscard]] EngineStatsSnapshot snapshot() const {
+    EngineStatsSnapshot s;
+    std::vector<double> window;
+    {
+      std::lock_guard lock(mutex_);
+      s.jobs_submitted = submitted_;
+      s.jobs_completed = completed_;
+      s.jobs_failed = failed_;
+      s.pixels_labeled = pixels_;
+      if (completed_ > 0) {
+        s.elapsed_s =
+            std::chrono::duration<double>(last_complete_ - first_submit_)
+                .count();
+        s.latency_mean_ms =
+            latency_total_ms_ / static_cast<double>(completed_);
+        s.latency_max_ms = latency_max_ms_;
+        window = latencies_;
+      }
+    }
+    // Sort outside the lock: a monitoring thread sorting a 64 Ki window
+    // must not stall workers finishing jobs.
+    if (s.jobs_completed > 0) {
+      if (s.elapsed_s > 0.0) {
+        s.images_per_sec =
+            static_cast<double>(s.jobs_completed) / s.elapsed_s;
+        s.mpixels_per_sec =
+            static_cast<double>(s.pixels_labeled) / 1e6 / s.elapsed_s;
+      }
+      std::sort(window.begin(), window.end());
+      s.latency_p50_ms = percentile_sorted(window, 50.0);
+      s.latency_p90_ms = percentile_sorted(window, 90.0);
+      s.latency_p99_ms = percentile_sorted(window, 99.0);
+    }
+    return s;
+  }
+
+ private:
+  // 8 Ki samples estimate p99 from ~80 tail values while keeping the
+  // snapshot's copy-under-lock at 64 KB (~microseconds), so a monitor
+  // polling stats() cannot stall workers in record_completion().
+  static constexpr std::size_t kLatencyWindow = 1 << 13;
+
+  mutable std::mutex mutex_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::int64_t pixels_ = 0;
+  Clock::time_point first_submit_{};
+  Clock::time_point last_complete_{};
+  double latency_total_ms_ = 0.0;
+  double latency_max_ms_ = 0.0;
+  std::vector<double> latencies_;
+  std::size_t next_slot_ = 0;
+};
+
+}  // namespace paremsp::engine

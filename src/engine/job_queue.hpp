@@ -1,0 +1,96 @@
+// Bounded MPMC queue connecting producers (submit/submit_batch) to the
+// engine's worker pool.
+//
+// Deliberately a mutex + two condition variables rather than a lock-free
+// ring: one labeling job costs tens of microseconds to millions of cycles,
+// so queue transfer is never the bottleneck, and the blocking push is what
+// implements the engine's backpressure contract (DESIGN.md §4) — when all
+// workers are busy and the queue is full, producers wait instead of
+// growing an unbounded backlog.
+//
+// Shutdown protocol: close() wakes everyone; subsequent push() calls fail
+// fast (return false), while pop() keeps draining queued items and only
+// returns nullopt once the queue is empty. That drain-then-stop order is
+// what lets the engine guarantee every accepted job's future completes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace paremsp::engine {
+
+/// Bounded blocking multi-producer multi-consumer queue.
+template <class T>
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {
+    PAREMSP_REQUIRE(capacity > 0, "queue capacity must be positive");
+  }
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueue `item`, blocking while the queue is full (backpressure).
+  /// Returns false — without enqueuing — once the queue is closed.
+  [[nodiscard]] bool push(T&& item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeue one item, blocking while the queue is empty. After close(),
+  /// keeps returning queued items until drained, then nullopt forever.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Stop accepting pushes and wake all waiters. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace paremsp::engine

@@ -1,0 +1,15 @@
+#include "engine/scratch_arena.hpp"
+
+namespace paremsp::engine {
+
+ArenaStats ScratchArena::stats() const {
+  return ArenaStats{
+      .jobs = jobs_.load(std::memory_order_relaxed),
+      .pixels = pixels_.load(std::memory_order_relaxed),
+      .grow_count = scratch_.grow_count(),
+      .plane_reuses = scratch_.plane_reuse_count(),
+      .reserved_bytes = scratch_.reserved_bytes(),
+  };
+}
+
+}  // namespace paremsp::engine

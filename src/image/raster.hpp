@@ -34,6 +34,10 @@ class Raster {
     return static_cast<std::int64_t>(rows_) * cols_;
   }
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  /// Elements the underlying storage can hold without reallocating.
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return data_.capacity();
+  }
 
   [[nodiscard]] bool in_bounds(Coord r, Coord c) const noexcept {
     return r >= 0 && r < rows_ && c >= 0 && c < cols_;
@@ -78,6 +82,28 @@ class Raster {
   [[nodiscard]] std::span<const T> pixels() const noexcept { return data_; }
 
   void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Re-dimension in place to rows x cols with every element set to
+  /// `fill_value`, reusing the existing allocation when capacity allows.
+  /// Equivalent to assigning a freshly constructed raster, minus the
+  /// allocation: LabelScratch recycles label planes through this.
+  void resize(Coord rows, Coord cols, T fill_value = T{}) {
+    const std::size_t n = checked_size(rows, cols);
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(n, fill_value);
+  }
+
+  /// resize() without the fill: element values are unspecified where the
+  /// previous contents are reused. For callers that overwrite every
+  /// element anyway (the scan kernels write background zeros themselves),
+  /// skipping the fill saves a full-plane memset per reuse.
+  void resize_for_overwrite(Coord rows, Coord cols) {
+    const std::size_t n = checked_size(rows, cols);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(n);
+  }
 
   friend bool operator==(const Raster&, const Raster&) = default;
 

@@ -132,6 +132,29 @@ TEST(Summarize, MedianOddAndEven) {
   EXPECT_EQ(summarize({}).count, 0u);
 }
 
+TEST(Percentile, InterpolatesBetweenClosestRanks) {
+  const std::vector<double> s{10.0, 40.0, 20.0, 30.0};  // unsorted input
+  EXPECT_DOUBLE_EQ(percentile(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 50.0), 25.0);  // == summarize().median
+  EXPECT_DOUBLE_EQ(percentile(s, 25.0), 17.5);  // rank 0.75 -> 10 + 0.75*10
+  // Out-of-range p clamps instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(percentile(s, 120.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(s, -5.0), 10.0);
+}
+
+TEST(Percentile, AgreesWithMedianAndHandlesEdges) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 99.0), 7.0);
+  const std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(odd, 50.0), summarize(odd).median);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(even, 50.0), summarize(even).median);
+  // percentile_sorted skips the sort but matches.
+  const std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 90.0), percentile(even, 90.0));
+}
+
 // --- TextTable ------------------------------------------------------------------
 
 TEST(TextTable, AlignsColumnsAndRendersTitle) {

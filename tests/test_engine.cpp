@@ -1,0 +1,310 @@
+// Batch labeling engine: queue semantics, scratch reuse, bit-identical
+// results under batching and concurrent submission, clean shutdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/validation.hpp"
+#include "common/contracts.hpp"
+#include "core/label_scratch.hpp"
+#include "core/paremsp_all.hpp"
+#include "engine/engine.hpp"
+#include "engine/job_queue.hpp"
+#include "image/generators.hpp"
+
+namespace paremsp {
+namespace {
+
+using engine::EngineConfig;
+using engine::JobQueue;
+using engine::LabelingEngine;
+
+/// A deterministic mixed-content image for (stream, index) coordinates.
+BinaryImage stream_image(int stream, int index, Coord rows = 64,
+                         Coord cols = 96) {
+  const std::uint64_t seed =
+      1000003ULL * static_cast<std::uint64_t>(stream) +
+      static_cast<std::uint64_t>(index);
+  switch (index % 3) {
+    case 0: return gen::landcover_like(rows, cols, seed);
+    case 1: return gen::texture_like(rows, cols, seed);
+    default: return gen::aerial_like(rows, cols, seed);
+  }
+}
+
+void expect_same_result(const LabelingResult& got, const LabelingResult& want,
+                        const std::string& context) {
+  EXPECT_EQ(got.num_components, want.num_components) << context;
+  EXPECT_EQ(got.labels, want.labels) << context;
+}
+
+// --- JobQueue --------------------------------------------------------------
+
+TEST(JobQueue, FifoOrder) {
+  JobQueue<int> q(8);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  ASSERT_TRUE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(JobQueue, CloseDrainsThenStops) {
+  JobQueue<int> q(8);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // closed: rejected
+  EXPECT_EQ(q.pop(), 1);    // but queued items still drain
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.pop(), std::nullopt);  // stays drained
+}
+
+TEST(JobQueue, PushBlocksUntilPopMakesRoom) {
+  JobQueue<int> q(1);
+  ASSERT_TRUE(q.push(0));
+  std::atomic<int> pushed{0};
+  std::thread producer([&] {
+    for (int i = 1; i <= 3; ++i) {
+      EXPECT_TRUE(q.push(std::move(i)));
+      pushed.fetch_add(1);
+    }
+  });
+  // The producer cannot complete until we drain; every item arrives in
+  // order despite the capacity-1 bottleneck.
+  for (int want = 0; want <= 3; ++want) {
+    EXPECT_EQ(q.pop(), want);
+  }
+  producer.join();
+  EXPECT_EQ(pushed.load(), 3);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(JobQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(JobQueue<int>(0), PreconditionError);
+}
+
+// --- LabelScratch reuse ----------------------------------------------------
+
+TEST(LabelScratch, GrowsOnceAcrossDifferentlySizedImages) {
+  const AremspLabeler labeler;
+  LabelScratch scratch;
+
+  const BinaryImage small = gen::landcover_like(48, 48, 7);
+  const BinaryImage big = gen::landcover_like(96, 128, 8);
+
+  // Run one image through the warm-scratch path, recycling the output
+  // plane the way the engine's clients do.
+  const auto run = [&](const BinaryImage& image) {
+    LabelingResult r = labeler.label_into(image, scratch);
+    expect_same_result(r, labeler.label(image), "scratch run");
+    scratch.recycle_plane(std::move(r.labels));
+  };
+
+  run(small);
+  const std::uint64_t after_small = scratch.grow_count();
+  EXPECT_GT(after_small, 0u);
+
+  // Same size again: fully served from the warm workspace.
+  run(small);
+  EXPECT_EQ(scratch.grow_count(), after_small);
+
+  // Bigger image: buffers grow to the new high-water mark...
+  run(big);
+  const std::uint64_t after_big = scratch.grow_count();
+  EXPECT_GT(after_big, after_small);
+
+  // ...after which neither the big nor the small size allocates again.
+  run(big);
+  run(small);
+  run(big);
+  EXPECT_EQ(scratch.grow_count(), after_big);
+  EXPECT_GT(scratch.reserved_bytes(), 0u);
+}
+
+TEST(LabelScratch, RecycledPlanesAreReusedAndZeroed) {
+  const FloodFillLabeler labeler;  // relies on a zeroed plane internally
+  LabelScratch scratch;
+  const BinaryImage image = gen::texture_like(40, 56, 3);
+  const LabelingResult want = labeler.label(image);
+
+  LabelingResult r = labeler.label_into(image, scratch);
+  expect_same_result(r, want, "before recycling");
+  const std::uint64_t reuses = scratch.plane_reuse_count();
+  scratch.recycle_plane(std::move(r.labels));
+
+  // The recycled plane is full of stale labels; acquire must hand it back
+  // zeroed or flood fill would see every pixel as already visited.
+  const LabelingResult again = labeler.label_into(image, scratch);
+  expect_same_result(again, want, "after recycling");
+  EXPECT_GT(scratch.plane_reuse_count(), reuses);
+}
+
+TEST(LabelScratch, LabelIntoMatchesLabelForEveryAlgorithm) {
+  const BinaryImage a = gen::misc_like(33, 47, 21);
+  const BinaryImage b = gen::landcover_like(50, 41, 22);
+  for (const AlgorithmInfo& info : algorithm_catalog()) {
+    SCOPED_TRACE(std::string(info.name));
+    const auto labeler = make_labeler(info.id);
+    LabelScratch scratch;
+    // Two calls on one scratch: the second runs on warm buffers.
+    expect_same_result(labeler->label_into(a, scratch), labeler->label(a),
+                       "image a");
+    expect_same_result(labeler->label_into(b, scratch), labeler->label(b),
+                       "image b");
+
+    // The catalog's scratch_reuse flag must reflect reality: algorithms
+    // carrying it run allocation-free once the scratch is warm.
+    if (info.scratch_reuse) {
+      LabelingResult warmup = labeler->label_into(b, scratch);
+      scratch.recycle_plane(std::move(warmup.labels));
+      const std::uint64_t grows = scratch.grow_count();
+      LabelingResult warm = labeler->label_into(b, scratch);
+      EXPECT_EQ(scratch.grow_count(), grows)
+          << "scratch_reuse algorithm allocated on a warm scratch";
+      scratch.recycle_plane(std::move(warm.labels));
+    }
+  }
+}
+
+// --- LabelingEngine --------------------------------------------------------
+
+TEST(LabelingEngine, BatchMatchesDirectCallsBitForBit) {
+  for (const Algorithm algorithm :
+       {Algorithm::Aremsp, Algorithm::Paremsp, Algorithm::FloodFill}) {
+    SCOPED_TRACE(std::string(algorithm_info(algorithm).name));
+    const auto direct = make_labeler(algorithm);
+
+    std::vector<BinaryImage> images;
+    for (int i = 0; i < 12; ++i) {
+      images.push_back(stream_image(0, i, 32 + 8 * (i % 4), 48 + 16 * (i % 3)));
+    }
+    images.push_back(BinaryImage());  // empty image rides along
+
+    LabelingEngine eng({.workers = 3, .algorithm = algorithm});
+    // submit_batch takes the vector by value; passing the lvalue copies,
+    // keeping `images` usable for the reference labelings below.
+    auto futures = eng.submit_batch(images);
+    ASSERT_EQ(futures.size(), images.size());
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const LabelingResult got = futures[i].get();
+      const LabelingResult want = direct->label(images[i]);
+      expect_same_result(got, want, "image " + std::to_string(i));
+      const auto validation = analysis::validate_labeling(
+          images[i], got.labels, got.num_components);
+      EXPECT_TRUE(validation.ok) << validation.error;
+    }
+  }
+}
+
+TEST(LabelingEngine, ConcurrentProducersGetDeterministicResults) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 20;
+  LabelingEngine eng({.workers = 2, .queue_capacity = 8});
+
+  std::vector<std::vector<std::future<LabelingResult>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&eng, &futures, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        futures[static_cast<std::size_t>(t)].push_back(
+            eng.submit(stream_image(t, i)));
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+
+  const AremspLabeler reference;
+  for (int t = 0; t < kProducers; ++t) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      const LabelingResult got =
+          futures[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)]
+              .get();
+      const LabelingResult want = reference.label(stream_image(t, i));
+      expect_same_result(got, want,
+                         "producer " + std::to_string(t) + " image " +
+                             std::to_string(i));
+    }
+  }
+
+  const auto stats = eng.stats();
+  EXPECT_EQ(stats.jobs_submitted, kProducers * kPerProducer);
+  EXPECT_EQ(stats.jobs_completed, kProducers * kPerProducer);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+}
+
+TEST(LabelingEngine, ShutdownDrainsInFlightJobs) {
+  std::vector<std::future<LabelingResult>> futures;
+  const BinaryImage image = gen::landcover_like(64, 64, 5);
+  const LabelingResult want = AremspLabeler().label(image);
+  {
+    LabelingEngine eng({.workers = 2, .queue_capacity = 4});
+    for (int i = 0; i < 16; ++i) futures.push_back(eng.submit(image));
+    eng.shutdown();  // explicit; destructor path covered on scope exit too
+    EXPECT_THROW((void)eng.submit(BinaryImage(4, 4)), PreconditionError);
+    EXPECT_EQ(eng.stats().jobs_completed, 16u);
+  }
+  // The engine is gone; every accepted job's future still yields a result.
+  for (auto& f : futures) {
+    expect_same_result(f.get(), want, "drained job");
+  }
+}
+
+TEST(LabelingEngine, RecyclingKeepsArenasAllocationFree) {
+  LabelingEngine eng({.workers = 1, .queue_capacity = 4});
+  const Coord rows = 72, cols = 72;
+
+  // Warm-up: let the single worker see the image size once.
+  for (int i = 0; i < 4; ++i) {
+    LabelingResult r = eng.submit(stream_image(9, i, rows, cols)).get();
+    eng.recycle(std::move(r.labels));
+  }
+  const auto warm = eng.stats();
+
+  for (int i = 4; i < 24; ++i) {
+    LabelingResult r = eng.submit(stream_image(9, i, rows, cols)).get();
+    eng.recycle(std::move(r.labels));
+  }
+  const auto done = eng.stats();
+
+  // Steady state: zero new allocations, planes served from the pool.
+  EXPECT_EQ(done.scratch_grow_count, warm.scratch_grow_count);
+  EXPECT_GT(done.plane_reuses, warm.plane_reuses);
+  EXPECT_GT(done.scratch_reserved_bytes, 0u);
+}
+
+TEST(LabelingEngine, StatsReportThroughputAndLatency) {
+  LabelingEngine eng({.workers = 2});
+  std::vector<BinaryImage> images;
+  for (int i = 0; i < 10; ++i) images.push_back(stream_image(3, i));
+  for (auto& f : eng.submit_batch(std::move(images))) (void)f.get();
+
+  const auto s = eng.stats();
+  EXPECT_EQ(s.jobs_submitted, 10u);
+  EXPECT_EQ(s.jobs_completed, 10u);
+  EXPECT_GT(s.pixels_labeled, 0);
+  EXPECT_GT(s.images_per_sec, 0.0);
+  EXPECT_GT(s.latency_p50_ms, 0.0);
+  EXPECT_LE(s.latency_p50_ms, s.latency_p99_ms);
+  EXPECT_LE(s.latency_p99_ms, s.latency_max_ms + 1e-9);
+}
+
+TEST(LabelingEngine, RejectsInvalidConfig) {
+  EXPECT_THROW(LabelingEngine({.workers = -1}), PreconditionError);
+  EXPECT_THROW(LabelingEngine({.queue_capacity = 0}), PreconditionError);
+  // AREMSP is 8-connectivity only; the constructor validates eagerly so a
+  // bad combination fails on the caller's thread, not inside every job.
+  EngineConfig bad;
+  bad.labeler.connectivity = Connectivity::Four;
+  bad.algorithm = Algorithm::Aremsp;
+  EXPECT_THROW(LabelingEngine{bad}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace paremsp
