@@ -1,15 +1,14 @@
 #include "baselines/arun.hpp"
 
-#include "common/contracts.hpp"
 #include "common/timer.hpp"
+#include "core/registry.hpp"
 #include "core/scan_two_line.hpp"
 #include "unionfind/rtable.hpp"
 
 namespace paremsp {
 
 ArunLabeler::ArunLabeler(Connectivity connectivity) {
-  PAREMSP_REQUIRE(connectivity == Connectivity::Eight,
-                  "ARUN's two-line mask supports 8-connectivity only");
+  require_supported(Algorithm::Arun, connectivity);
 }
 
 LabelingResult ArunLabeler::label(const BinaryImage& image) const {

@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
+#include "core/registry.hpp"
 #include "unionfind/rtable.hpp"
 
 namespace paremsp {
@@ -20,8 +21,7 @@ struct Run {
 }  // namespace
 
 RunLabeler::RunLabeler(Connectivity connectivity) {
-  PAREMSP_REQUIRE(connectivity == Connectivity::Eight,
-                  "RUN (He 2008) is defined for 8-connectivity");
+  require_supported(Algorithm::Run, connectivity);
 }
 
 LabelingResult RunLabeler::label(const BinaryImage& image) const {

@@ -5,14 +5,14 @@
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
 #include "core/label_scratch.hpp"
+#include "core/registry.hpp"
 #include "core/scan_two_line.hpp"
 #include "unionfind/rem.hpp"
 
 namespace paremsp {
 
 AremspLabeler::AremspLabeler(Connectivity connectivity) {
-  PAREMSP_REQUIRE(connectivity == Connectivity::Eight,
-                  "AREMSP's two-line mask supports 8-connectivity only");
+  require_supported(Algorithm::Aremsp, connectivity);
 }
 
 LabelingResult AremspLabeler::label(const BinaryImage& image) const {

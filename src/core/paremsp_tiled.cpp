@@ -2,82 +2,50 @@
 
 #include <omp.h>
 
-#include <algorithm>
 #include <vector>
 
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
-#include "core/scan_two_line.hpp"
+#include "core/label_scratch.hpp"
+#include "core/tiled_phases.hpp"
 #include "unionfind/parallel_rem.hpp"
 #include "unionfind/rem.hpp"
 
 namespace paremsp {
 
-namespace {
-
-struct Tile {
-  Coord row_begin = 0;
-  Coord row_end = 0;
-  Coord col_begin = 0;
-  Coord col_end = 0;
-  Label base = 0;
-  Label used = 0;
-
-  [[nodiscard]] std::int64_t pixels() const noexcept {
-    return static_cast<std::int64_t>(row_end - row_begin) *
-           (col_end - col_begin);
-  }
-};
-
-/// Row-major tile grid; bases are prefix sums of tile pixel counts, so
-/// label ranges are disjoint and increase in row-major tile order (which
-/// the FLATTEN pass relies on).
-std::vector<Tile> make_tiles(Coord rows, Coord cols, Coord tile_rows,
-                             Coord tile_cols) {
-  std::vector<Tile> tiles;
-  Label base = 0;
-  for (Coord r0 = 0; r0 < rows; r0 += tile_rows) {
-    const Coord r1 = std::min<Coord>(r0 + tile_rows, rows);
-    for (Coord c0 = 0; c0 < cols; c0 += tile_cols) {
-      const Coord c1 = std::min<Coord>(c0 + tile_cols, cols);
-      Tile t{r0, r1, c0, c1, base, 0};
-      base += static_cast<Label>(t.pixels());
-      tiles.push_back(t);
-    }
-  }
-  return tiles;
-}
-
-}  // namespace
-
 TiledParemspLabeler::TiledParemspLabeler(TiledParemspConfig config)
     : config_(config) {
   PAREMSP_REQUIRE(config_.threads >= 0, "threads must be >= 0");
-  PAREMSP_REQUIRE(config_.tile_rows >= 2 && config_.tile_cols >= 2,
-                  "tiles must be at least 2x2");
+  PAREMSP_REQUIRE(config_.tile_rows >= 1 && config_.tile_cols >= 1,
+                  "tiles must be at least 1x1");
   PAREMSP_REQUIRE(config_.lock_bits >= 0 && config_.lock_bits <= 24,
                   "lock_bits out of range");
-  config_.tile_rows += config_.tile_rows % 2;  // keep pair alignment
   if (config_.merge_backend == MergeBackend::LockedRem) {
     locks_ = std::make_unique<uf::LockPool>(config_.lock_bits);
   }
 }
 
 LabelingResult TiledParemspLabeler::label(const BinaryImage& image) const {
+  LabelScratch scratch;
+  return label_into(image, scratch);
+}
+
+LabelingResult TiledParemspLabeler::label_into(const BinaryImage& image,
+                                               LabelScratch& scratch) const {
   const WallTimer total;
   LabelingResult result;
-  result.labels = LabelImage(image.rows(), image.cols());
+  result.labels = scratch.acquire_plane(image.rows(), image.cols(),
+                                        LabelScratch::PlaneInit::Dirty);
   if (image.size() == 0) return result;
 
-  const Coord rows = image.rows();
-  const Coord cols = image.cols();
   const int threads =
       config_.threads > 0 ? config_.threads : omp_get_max_threads();
 
-  std::vector<Tile> tiles =
-      make_tiles(rows, cols, config_.tile_rows, config_.tile_cols);
+  std::vector<TileSpec> tiles = make_tile_grid(
+      image.rows(), image.cols(), config_.tile_rows, config_.tile_cols);
   const int ntiles = static_cast<int>(tiles.size());
-  std::vector<Label> p(static_cast<std::size_t>(image.size()) + 1);
+  std::span<Label> p =
+      scratch.parents(static_cast<std::size_t>(image.size()) + 1);
   LabelImage& labels = result.labels;
 
   // --- Phase I: tile-local two-line scans ----------------------------------
@@ -85,88 +53,37 @@ LabelingResult TiledParemspLabeler::label(const BinaryImage& image) const {
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
   for (int t = 0; t < ntiles; ++t) {
     auto& tile = tiles[static_cast<std::size_t>(t)];
-    RemEquiv eq(p, tile.base);
-    scan_two_line(image, labels, eq, tile.row_begin, tile.row_end,
-                  tile.col_begin, tile.col_end);
-    tile.used = eq.used();
+    tile.used = scan_tile(image, labels, p, tile);
   }
   result.timings.scan_ms = phase.elapsed_ms();
 
-  // --- Phase II: merge horizontal + vertical tile boundaries ----------------
+  // --- Phase II: merge horizontal + vertical tile seams ---------------------
   phase.reset();
-  const auto merge_tile_boundaries = [&](const Tile& tile, auto&& unite) {
-    // Top boundary: same b/a/c argument as Algorithm 7 — when b is set,
-    // a/c already share b's component inside the upper tile.
-    if (tile.row_begin > 0) {
-      const Coord r = tile.row_begin;
-      for (Coord c = tile.col_begin; c < tile.col_end; ++c) {
-        const Label e = labels(r, c);
-        if (e == 0) continue;
-        const Label b = labels(r - 1, c);
-        if (b != 0) {
-          unite(e, b);
-        } else {
-          if (c > 0) {
-            const Label a = labels(r - 1, c - 1);
-            if (a != 0) unite(e, a);
-          }
-          if (c + 1 < cols) {
-            const Label cc = labels(r - 1, c + 1);
-            if (cc != 0) unite(e, cc);
-          }
-        }
-      }
-    }
-    // Left boundary: mirror argument with l (left) playing b's role —
-    // the up-left/down-left diagonals are vertically adjacent to l inside
-    // the left tile, hence already merged with it when l is foreground.
-    if (tile.col_begin > 0) {
-      const Coord c = tile.col_begin;
-      for (Coord r = tile.row_begin; r < tile.row_end; ++r) {
-        const Label e = labels(r, c);
-        if (e == 0) continue;
-        const Label l = labels(r, c - 1);
-        if (l != 0) {
-          unite(e, l);
-        } else {
-          if (r > 0) {
-            const Label ul = labels(r - 1, c - 1);
-            if (ul != 0) unite(e, ul);
-          }
-          if (r + 1 < rows) {
-            const Label dl = labels(r + 1, c - 1);
-            if (dl != 0) unite(e, dl);
-          }
-        }
-      }
-    }
-  };
-
   switch (config_.merge_backend) {
     case MergeBackend::LockedRem: {
       uf::LockPool& locks = *locks_;
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
       for (int t = 0; t < ntiles; ++t) {
-        merge_tile_boundaries(tiles[static_cast<std::size_t>(t)],
-                              [&](Label x, Label y) {
-                                uf::locked_unite(p.data(), locks, x, y);
-                              });
+        merge_tile_seams(labels, tiles[static_cast<std::size_t>(t)],
+                         [&](Label x, Label y) {
+                           uf::locked_unite(p.data(), locks, x, y);
+                         });
       }
       break;
     }
     case MergeBackend::CasRem: {
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
       for (int t = 0; t < ntiles; ++t) {
-        merge_tile_boundaries(
-            tiles[static_cast<std::size_t>(t)],
+        merge_tile_seams(
+            labels, tiles[static_cast<std::size_t>(t)],
             [&](Label x, Label y) { uf::cas_unite(p.data(), x, y); });
       }
       break;
     }
     case MergeBackend::Sequential: {
       for (int t = 0; t < ntiles; ++t) {
-        merge_tile_boundaries(
-            tiles[static_cast<std::size_t>(t)],
+        merge_tile_seams(
+            labels, tiles[static_cast<std::size_t>(t)],
             [&](Label x, Label y) { uf::rem_unite(p.data(), x, y); });
       }
       break;
@@ -174,24 +91,16 @@ LabelingResult TiledParemspLabeler::label(const BinaryImage& image) const {
   }
   result.timings.merge_ms = phase.elapsed_ms();
 
-  // --- FLATTEN over used ranges in increasing base order --------------------
+  // --- FLATTEN + canonical raster-order renumber ----------------------------
   phase.reset();
-  Label k = 0;
-  for (const auto& tile : tiles) {
-    const Label lo = tile.base + 1;
-    const Label hi = tile.base + tile.used;
-    for (Label i = lo; i <= hi; ++i) {
-      if (p[i] < i) {
-        p[i] = p[p[i]];
-      } else {
-        p[i] = ++k;
-      }
-    }
-  }
-  result.num_components = k;
+  Label total_used = 0;
+  for (const auto& tile : tiles) total_used += tile.used;
+  std::span<Label> remap =
+      scratch.aux(static_cast<std::size_t>(total_used) + 1);
+  result.num_components = resolve_final_labels(p, tiles, labels, remap);
   result.timings.flatten_ms = phase.elapsed_ms();
 
-  // --- Final labeling pass ----------------------------------------------------
+  // --- Final labeling pass --------------------------------------------------
   phase.reset();
   {
     const std::int64_t n = labels.size();

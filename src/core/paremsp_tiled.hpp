@@ -8,10 +8,12 @@
 // same parallel REM merger. For wide images this shortens boundaries and
 // exposes more parallelism; the ablation bench quantifies when it pays.
 //
-// Output is deterministic for a fixed tile grid (component roots are
-// still provisional-label minima; bases are prefix sums over row-major
-// tile order) and partition-equivalent to AREMSP; with one tile it is
-// bit-identical to AREMSP.
+// The phases themselves live in core/tiled_phases.hpp so this in-process
+// OpenMP executor and the engine's sharded huge-image path
+// (engine/sharded_labeler.cpp) compose the same audited steps. A final
+// raster-first-appearance renumber makes the output bit-identical to
+// sequential AREMSP for EVERY tile geometry and thread count — not merely
+// partition-equivalent (see DESIGN.md §5).
 #pragma once
 
 #include <memory>
@@ -26,10 +28,10 @@ namespace paremsp {
 struct TiledParemspConfig {
   /// Worker threads; 0 means the OpenMP default.
   int threads = 0;
-  /// Tile height in rows; rounded up to even so every tile keeps the
-  /// sequential scan's two-row pair alignment. Minimum 2.
+  /// Tile height in rows; any value >= 1 (down to single-pixel tiles —
+  /// the canonical renumber keeps the output identical regardless).
   Coord tile_rows = 256;
-  /// Tile width in columns. Minimum 2.
+  /// Tile width in columns. Minimum 1.
   Coord tile_cols = 256;
   /// Boundary-merge implementation (shared with ParemspLabeler).
   MergeBackend merge_backend = MergeBackend::LockedRem;
@@ -47,6 +49,8 @@ class TiledParemspLabeler final : public Labeler {
   }
   [[nodiscard]] bool is_parallel() const noexcept override { return true; }
   [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
+  [[nodiscard]] LabelingResult label_into(
+      const BinaryImage& image, LabelScratch& scratch) const override;
 
   [[nodiscard]] const TiledParemspConfig& config() const noexcept {
     return config_;

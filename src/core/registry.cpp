@@ -44,7 +44,7 @@ constexpr std::array<AlgorithmInfo, 10> kCatalog{{
      "paper: parallel AREMSP (OpenMP, boundary merge)", true, false, true,
      true},
     {Algorithm::ParemspTiled, "paremsp2d",
-     "extension: 2-D tiled PAREMSP", true, false, false, false},
+     "extension: 2-D tiled PAREMSP", true, false, false, true},
 }};
 
 }  // namespace
@@ -67,12 +67,16 @@ Algorithm algorithm_from_name(std::string_view name) {
   throw PreconditionError("unknown algorithm name: " + std::string(name));
 }
 
+void require_supported(Algorithm algorithm, Connectivity connectivity) {
+  const AlgorithmInfo& info = algorithm_info(algorithm);
+  PAREMSP_REQUIRE(info.supports(connectivity),
+                  std::string(info.name) + " does not support " +
+                      to_string(connectivity));
+}
+
 std::unique_ptr<Labeler> make_labeler(Algorithm algorithm,
                                       const LabelerOptions& options) {
-  const AlgorithmInfo& info = algorithm_info(algorithm);
-  PAREMSP_REQUIRE(options.connectivity == Connectivity::Eight ||
-                      info.supports_four_connectivity,
-                  std::string(info.name) + " supports 8-connectivity only");
+  require_supported(algorithm, options.connectivity);
 
   switch (algorithm) {
     case Algorithm::FloodFill:

@@ -40,6 +40,16 @@ struct AlgorithmInfo {
   /// batch engine runs these on recycled per-worker arenas (the rest fall
   /// back to per-call allocation with identical results).
   bool scratch_reuse = false;
+
+  /// Whether this algorithm can label under `connectivity`. The single
+  /// source of truth for connectivity support: make_labeler and the
+  /// labeler constructors both consult it (via require_supported), so an
+  /// unsupported combination always surfaces as the same
+  /// PreconditionError — never an ad-hoc message or an abort.
+  [[nodiscard]] constexpr bool supports(Connectivity connectivity) const
+      noexcept {
+    return connectivity == Connectivity::Eight || supports_four_connectivity;
+  }
 };
 
 /// All algorithms, in the order the paper's tables list them (baselines
@@ -59,6 +69,12 @@ struct LabelerOptions {
   MergeBackend merge_backend = MergeBackend::LockedRem;  // PAREMSP only
   int lock_bits = 12;                                 // PAREMSP only
 };
+
+/// Throw the registry's uniform PreconditionError when `algorithm` does
+/// not support `connectivity` (per AlgorithmInfo::supports). Labeler
+/// constructors call this instead of rolling their own checks so direct
+/// construction and make_labeler reject identically.
+void require_supported(Algorithm algorithm, Connectivity connectivity);
 
 /// Construct a labeler.
 [[nodiscard]] std::unique_ptr<Labeler> make_labeler(

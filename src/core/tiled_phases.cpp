@@ -1,0 +1,107 @@
+#include "core/tiled_phases.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "core/equiv_policies.hpp"
+#include "core/scan_two_line.hpp"
+
+namespace paremsp {
+
+std::vector<TileSpec> make_tile_grid(Coord rows, Coord cols, Coord tile_rows,
+                                     Coord tile_cols) {
+  PAREMSP_REQUIRE(tile_rows >= 1 && tile_cols >= 1,
+                  "tiles must be at least 1x1");
+  std::vector<TileSpec> tiles;
+  if (rows <= 0 || cols <= 0) return tiles;
+  tiles.reserve(static_cast<std::size_t>((rows + tile_rows - 1) / tile_rows) *
+                static_cast<std::size_t>((cols + tile_cols - 1) / tile_cols));
+  Label base = 0;
+  for (Coord r0 = 0; r0 < rows; r0 += tile_rows) {
+    const Coord r1 = std::min<Coord>(r0 + tile_rows, rows);
+    for (Coord c0 = 0; c0 < cols; c0 += tile_cols) {
+      const Coord c1 = std::min<Coord>(c0 + tile_cols, cols);
+      TileSpec t{r0, r1, c0, c1, base, 0};
+      base += static_cast<Label>(t.pixels());
+      tiles.push_back(t);
+    }
+  }
+  return tiles;
+}
+
+Label scan_tile(const BinaryImage& image, LabelImage& labels,
+                std::span<Label> parents, const TileSpec& tile) {
+  RemEquiv eq(parents, tile.base);
+  return scan_two_line(image, labels, eq, tile.row_begin, tile.row_end,
+                       tile.col_begin, tile.col_end);
+}
+
+Label resolve_final_labels(std::span<Label> parents,
+                           std::span<const TileSpec> tiles,
+                           const LabelImage& labels, std::span<Label> remap) {
+  // FLATTEN (paper Algorithm 3) over used ranges in increasing base order:
+  // parents always point at smaller used labels, so every parent is
+  // resolved before its children and one pass suffices.
+  Label k = 0;
+  for (const TileSpec& tile : tiles) {
+    const Label lo = tile.base + 1;
+    const Label hi = tile.base + tile.used;
+    for (Label i = lo; i <= hi; ++i) {
+      if (parents[i] < i) {
+        parents[i] = parents[parents[i]];
+      } else {
+        parents[i] = ++k;
+      }
+    }
+  }
+  if (k == 0) return 0;
+
+  // Full-width tiles whose rows start even are exactly the paper's row
+  // chunks: bases increase in scan order AND each tile's two-line pairing
+  // matches the sequential scan's, so the flatten above already numbered
+  // components in sequential order (DESIGN.md §3) and the remap would be
+  // the identity.
+  const bool chunk_equivalent =
+      std::all_of(tiles.begin(), tiles.end(), [&](const TileSpec& t) {
+        return t.col_begin == 0 && t.col_end == labels.cols() &&
+               t.row_begin % 2 == 0;
+      });
+  if (chunk_equivalent) return k;
+
+  // Any other grid numbers components in tile order; renumber them by
+  // first appearance in the sequential scan's TWO-LINE visit order (row
+  // pairs (0,1),(2,3),…, column by column, upper pixel before lower).
+  // Sequential AREMSP's FLATTEN assigns final labels by increasing
+  // component minimum, and each minimum sits at the component's first
+  // two-line-visited pixel — so first-appearance order in that same visit
+  // order reproduces the sequential numbering exactly, for every grid.
+  PAREMSP_REQUIRE(remap.size() > static_cast<std::size_t>(k),
+                  "remap storage smaller than the component count");
+  std::fill_n(remap.begin(), static_cast<std::size_t>(k) + 1, Label{0});
+  Label next = 0;
+  const Coord rows = labels.rows();
+  const Coord cols = labels.cols();
+  for (Coord r = 0; r < rows && next < k; r += 2) {
+    const Label* upper = labels.row(r);
+    const Label* lower = r + 1 < rows ? labels.row(r + 1) : nullptr;
+    for (Coord c = 0; c < cols; ++c) {
+      if (upper[c] != 0) {
+        Label& slot = remap[parents[upper[c]]];
+        if (slot == 0) slot = ++next;
+      }
+      if (lower != nullptr && lower[c] != 0) {
+        Label& slot = remap[parents[lower[c]]];
+        if (slot == 0) slot = ++next;
+      }
+    }
+  }
+  PAREMSP_ENSURE(next == k, "first-appearance renumber lost a component");
+  for (const TileSpec& tile : tiles) {
+    const Label lo = tile.base + 1;
+    const Label hi = tile.base + tile.used;
+    for (Label i = lo; i <= hi; ++i) parents[i] = remap[parents[i]];
+  }
+  return k;
+}
+
+}  // namespace paremsp

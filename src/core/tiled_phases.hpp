@@ -1,0 +1,162 @@
+// Composable phases of 2-D tiled AREMSP labeling.
+//
+// The tiled algorithm (a 2-D generalization of the paper's Algorithm 7)
+// decomposes into four independently schedulable steps:
+//
+//   1. make_tile_grid      — partition the image into a row-major tile grid
+//                            with disjoint provisional-label ranges;
+//   2. scan_tile           — the AREMSP two-line scan (Algorithm 6) over one
+//                            tile, masked at the tile's top row and left
+//                            column (out-of-tile pixels read as background);
+//   3. merge_tile_seams    — re-establish the adjacencies suppressed at one
+//                            tile's top/left seams through any union backend
+//                            (Algorithm 8's parallel REM merger, its CAS
+//                            variant, or sequential REM);
+//   4. resolve_final_labels — FLATTEN every tile's used label range, then
+//                            renumber components in the sequential scan's
+//                            first-appearance order so the result is
+//                            bit-identical to sequential AREMSP for EVERY
+//                            tile geometry.
+//
+// Two executors compose these pieces: TiledParemspLabeler (in-process
+// OpenMP, core/paremsp_tiled.cpp) and the engine's sharded huge-image path
+// (persistent-worker jobs, engine/sharded_labeler.cpp). Keeping the steps
+// here means both run the same audited kernel code and differ only in
+// scheduling.
+//
+// Why the renumber step makes any grid bit-identical (DESIGN.md §5): REM
+// keeps each component's root at its minimum provisional label, and the
+// sequential scan issues that minimum at the component's first pixel in
+// TWO-LINE VISIT ORDER (row pairs (0,1),(2,3),…, column by column, upper
+// before lower) — the first-visited pixel has no earlier-visited
+// foreground neighbor, so it is always a new-label event. Sequential
+// AREMSP's FLATTEN therefore numbers components 1..k by first appearance
+// in that visit order. A 2-D grid's bases are prefix sums in tile order
+// instead, so after FLATTEN the dense labels come out permuted — one
+// first-appearance remap in the sequential visit order restores exactly
+// the sequential numbering.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "image/raster.hpp"
+
+namespace paremsp {
+
+/// One tile of the grid: the half-open pixel rectangle
+/// [row_begin, row_end) x [col_begin, col_end) and its provisional-label
+/// range (base, base + used].
+struct TileSpec {
+  Coord row_begin = 0;
+  Coord row_end = 0;
+  Coord col_begin = 0;
+  Coord col_end = 0;
+  Label base = 0;  // labels issued in this tile exceed base (prefix sum)
+  Label used = 0;  // labels issued by scan_tile (filled in by the caller)
+
+  [[nodiscard]] std::int64_t pixels() const noexcept {
+    return static_cast<std::int64_t>(row_end - row_begin) *
+           (col_end - col_begin);
+  }
+};
+
+/// Partition rows x cols into a row-major grid of tile_rows x tile_cols
+/// tiles (edge tiles clipped). Bases are prefix sums of tile pixel counts,
+/// so label ranges are disjoint and increase in row-major tile order —
+/// the order resolve_final_labels flattens them in. Any tile size >= 1
+/// works (down to 1-pixel tiles); oversize tiles degenerate to one tile,
+/// which skips the merge and renumber phases entirely.
+[[nodiscard]] std::vector<TileSpec> make_tile_grid(Coord rows, Coord cols,
+                                                   Coord tile_rows,
+                                                   Coord tile_cols);
+
+/// Phase I for one tile: run the AREMSP two-line scan over the tile's
+/// rectangle, issuing provisional labels above tile.base into `parents`
+/// and writing them to `labels`. Pixels outside the rectangle are treated
+/// as background; the suppressed cross-seam adjacencies are restored by
+/// merge_tile_seams. Returns the number of labels issued (the caller
+/// stores it in tile.used). Thread-safe across distinct tiles: a tile
+/// scan writes only its own label range and its own pixel rectangle.
+[[nodiscard]] Label scan_tile(const BinaryImage& image, LabelImage& labels,
+                              std::span<Label> parents, const TileSpec& tile);
+
+/// Phase II for one tile: feed every 8-adjacency crossing the tile's top
+/// and left seams to `unite(Label, Label)`. Each seam pixel generates at
+/// most one union when its direct neighbor across the seam is foreground
+/// (the diagonal neighbors are then already connected to it on the far
+/// side — in-tile by the scan, or by the far tile's own seam merge), and
+/// at most two diagonal unions otherwise. Covering only top + left seams
+/// over all tiles covers every seam exactly once.
+///
+/// `unite` must be safe for the caller's schedule: uf::locked_unite /
+/// uf::cas_unite for concurrent tiles, uf::rem_unite when serialized.
+template <class UniteFn>
+void merge_tile_seams(const LabelImage& labels, const TileSpec& tile,
+                      UniteFn&& unite) {
+  const Coord rows = labels.rows();
+  const Coord cols = labels.cols();
+  // Top seam: same b/a/c case analysis as Algorithm 7 — when b is set,
+  // a/c already share b's component on the far side of the seam.
+  if (tile.row_begin > 0) {
+    const Coord r = tile.row_begin;
+    for (Coord c = tile.col_begin; c < tile.col_end; ++c) {
+      const Label e = labels(r, c);
+      if (e == 0) continue;
+      const Label b = labels(r - 1, c);
+      if (b != 0) {
+        unite(e, b);
+      } else {
+        if (c > 0) {
+          const Label a = labels(r - 1, c - 1);
+          if (a != 0) unite(e, a);
+        }
+        if (c + 1 < cols) {
+          const Label cc = labels(r - 1, c + 1);
+          if (cc != 0) unite(e, cc);
+        }
+      }
+    }
+  }
+  // Left seam: mirror argument with l (left) in b's role — the up-left /
+  // down-left diagonals are vertically adjacent to l on the far side.
+  if (tile.col_begin > 0) {
+    const Coord c = tile.col_begin;
+    for (Coord r = tile.row_begin; r < tile.row_end; ++r) {
+      const Label e = labels(r, c);
+      if (e == 0) continue;
+      const Label l = labels(r, c - 1);
+      if (l != 0) {
+        unite(e, l);
+      } else {
+        if (r > 0) {
+          const Label ul = labels(r - 1, c - 1);
+          if (ul != 0) unite(e, ul);
+        }
+        if (r + 1 < rows) {
+          const Label dl = labels(r + 1, c - 1);
+          if (dl != 0) unite(e, dl);
+        }
+      }
+    }
+  }
+}
+
+/// Phases III+IV bookkeeping: FLATTEN every tile's used label range in
+/// increasing base order (resolving each provisional label to a dense
+/// component id), then renumber the dense ids into raster-first-appearance
+/// order by scanning `labels` (which still holds provisional labels).
+/// On return parents[l] is the FINAL label for every issued provisional
+/// label l; the caller finishes with the (parallelizable) rewrite
+/// labels(i) = parents[labels(i)]. Returns the component count.
+///
+/// `remap` is caller-provided storage for the renumber table, at least
+/// (total used labels + 1) entries; contents need not be initialized.
+/// Single-threaded: run after all scans and merges completed.
+[[nodiscard]] Label resolve_final_labels(std::span<Label> parents,
+                                         std::span<const TileSpec> tiles,
+                                         const LabelImage& labels,
+                                         std::span<Label> remap);
+
+}  // namespace paremsp

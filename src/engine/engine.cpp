@@ -48,15 +48,18 @@ LabelingEngine::LabelingEngine(EngineConfig config)
 LabelingEngine::~LabelingEngine() { shutdown(); }
 
 std::future<LabelingResult> LabelingEngine::submit(BinaryImage image) {
-  return enqueue(Job{std::move(image), nullptr,
-                     std::promise<LabelingResult>{},
-                     EngineStats::Clock::now()});
+  Job job;
+  job.owned = std::move(image);
+  job.submitted_at = EngineStats::Clock::now();
+  return enqueue(std::move(job));
 }
 
 std::future<LabelingResult> LabelingEngine::submit_view(
     const BinaryImage& image) {
-  return enqueue(Job{BinaryImage{}, &image, std::promise<LabelingResult>{},
-                     EngineStats::Clock::now()});
+  Job job;
+  job.borrowed = &image;
+  job.submitted_at = EngineStats::Clock::now();
+  return enqueue(std::move(job));
 }
 
 std::future<LabelingResult> LabelingEngine::enqueue(Job job) {
@@ -67,6 +70,50 @@ std::future<LabelingResult> LabelingEngine::enqueue(Job job) {
     throw PreconditionError("LabelingEngine::submit after shutdown");
   }
   return future;
+}
+
+bool LabelingEngine::enqueue_task(std::function<void(ScratchArena&)> task,
+                                  bool bounded) {
+  Job job;
+  job.task = std::move(task);
+  return bounded ? queue_.push(std::move(job))
+                 : queue_.push_unbounded(std::move(job));
+}
+
+LabelImage LabelingEngine::take_recycled_plane() {
+  std::lock_guard lock(recycled_mutex_);
+  if (recycled_planes_.empty()) return LabelImage{};
+  LabelImage plane = std::move(recycled_planes_.back());
+  recycled_planes_.pop_back();
+  return plane;
+}
+
+LabelingEngine::ShardBuffer LabelingEngine::take_shard_buffer(std::size_t n) {
+  ShardBuffer buffer;
+  {
+    std::lock_guard lock(shard_buffers_mutex_);
+    if (!shard_buffers_.empty()) {
+      buffer = std::move(shard_buffers_.back());
+      shard_buffers_.pop_back();
+    }
+  }
+  if (buffer.capacity < n) {
+    // make_unique_for_overwrite: no value-initialization — the sharded
+    // phases initialize exactly the entries they use.
+    buffer.data = std::make_unique_for_overwrite<Label[]>(n);
+    buffer.capacity = n;
+  }
+  return buffer;
+}
+
+void LabelingEngine::return_shard_buffer(ShardBuffer buffer) {
+  if (buffer.data == nullptr) return;
+  std::lock_guard lock(shard_buffers_mutex_);
+  // Two buffers per run (parents + remap), two runs' worth parked: more
+  // would hoard image-sized allocations.
+  if (shard_buffers_.size() < 4) {
+    shard_buffers_.push_back(std::move(buffer));
+  }
 }
 
 std::vector<std::future<LabelingResult>> LabelingEngine::submit_batch(
@@ -102,6 +149,10 @@ EngineStatsSnapshot LabelingEngine::stats() const {
     s.scratch_grow_count += a.grow_count;
     s.plane_reuses += a.plane_reuses;
   }
+  s.shards_submitted = shards_submitted_.load(std::memory_order_relaxed);
+  s.shards_completed = shards_completed_.load(std::memory_order_relaxed);
+  s.shard_tasks_completed =
+      shard_tasks_completed_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -124,23 +175,42 @@ void LabelingEngine::worker_main(ScratchArena& arena) {
       make_labeler(config_.algorithm, config_.labeler);
 
   while (auto job = queue_.pop()) {
+    if (job->task) {
+      // Generic engine task (sharded phase job): runs with this worker's
+      // arena, handles its own errors, bypasses the request stats. The
+      // catch-all is a backstop — a throwing task must never take the
+      // worker thread (and with it the pool) down.
+      try {
+        job->task(arena);
+      } catch (...) {
+      }
+      shard_tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     maybe_adopt_recycled(arena);
     const std::int64_t pixels = job->image().size();
-    bool failed = false;
+    LabelingResult result;
+    std::exception_ptr error;
     try {
-      LabelingResult result =
-          labeler->label_into(job->image(), arena.scratch());
-      job->promise.set_value(std::move(result));
+      result = labeler->label_into(job->image(), arena.scratch());
     } catch (...) {
-      failed = true;
-      job->promise.set_exception(std::current_exception());
+      error = std::current_exception();
     }
+    // Record the completion BEFORE fulfilling the promise: a caller
+    // returning from future.get() must already observe the job in
+    // stats() (the engine tests poll stats right after draining).
+    const bool failed = error != nullptr;
     const double latency_ms =
         std::chrono::duration<double, std::milli>(
             EngineStats::Clock::now() - job->submitted_at)
             .count();
     stats_.record_completion(latency_ms, failed ? 0 : pixels, failed);
     arena.note_job(failed ? 0 : pixels);
+    if (failed) {
+      job->promise.set_exception(std::move(error));
+    } else {
+      job->promise.set_value(std::move(result));
+    }
   }
 }
 

@@ -23,7 +23,9 @@
 //   eng.recycle(std::move(r.labels));   // optional: keep arenas warm
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <thread>
@@ -34,6 +36,7 @@
 #include "engine/engine_stats.hpp"
 #include "engine/job_queue.hpp"
 #include "engine/scratch_arena.hpp"
+#include "engine/sharded_labeler.hpp"
 
 namespace paremsp::engine {
 
@@ -80,6 +83,23 @@ class LabelingEngine {
   [[nodiscard]] std::vector<std::future<LabelingResult>> submit_batch(
       std::vector<BinaryImage> images);
 
+  /// Label ONE huge image by sharding it into a tile grid across the
+  /// worker pool (engine/sharded_labeler.hpp has the phase diagram). The
+  /// engine borrows `image`: keep it alive and unmodified until the future
+  /// is ready — the future only becomes ready once the whole pipeline has
+  /// quiesced (success or failure), so a ready future means no worker
+  /// still reads the image. The result is bit-identical to sequential
+  /// AREMSP for every tile geometry and worker count. If the engine shuts
+  /// down mid-shard, the future carries a PreconditionError. Call from
+  /// producer threads only (not from inside engine jobs): the initial tile
+  /// fan-out takes the bounded, backpressured queue path.
+  [[nodiscard]] std::future<LabelingResult> submit_sharded(
+      const BinaryImage& image, const ShardOptions& options = {});
+
+  /// Synchronous submit_sharded: blocks until the shard pipeline drains.
+  [[nodiscard]] LabelingResult label_sharded(const BinaryImage& image,
+                                             const ShardOptions& options = {});
+
   /// Hand a result's label plane back for reuse. Optional: skipping it
   /// only costs the workers one plane allocation per request.
   void recycle(LabelImage&& plane);
@@ -99,11 +119,17 @@ class LabelingEngine {
   }
 
  private:
+  friend class ShardedRun;  // sharded_labeler.cpp: pushes phase jobs
+
   struct Job {
-    BinaryImage owned;            // the image, unless borrowed
-    const BinaryImage* borrowed;  // caller-kept image (submit_view), or null
+    BinaryImage owned;  // the image, unless borrowed
+    const BinaryImage* borrowed = nullptr;  // caller-kept (submit_view)
     std::promise<LabelingResult> promise;
-    EngineStats::Clock::time_point submitted_at;
+    EngineStats::Clock::time_point submitted_at{};
+    // Generic engine task (sharded phase jobs): when set, the worker runs
+    // it with its arena instead of the labeling path. Tasks own their
+    // error handling; the promise above is unused.
+    std::function<void(ScratchArena&)> task;
 
     // Jobs move through the queue, so the owned image must be reached
     // through the job's current location, never a stored self-pointer.
@@ -113,6 +139,30 @@ class LabelingEngine {
   };
 
   [[nodiscard]] std::future<LabelingResult> enqueue(Job job);
+  /// Enqueue a generic task. Bounded (backpressured) pushes are for
+  /// producer threads; workers spawning continuations must pass
+  /// bounded = false (see JobQueue::push_unbounded). Returns false once
+  /// the queue is closed.
+  [[nodiscard]] bool enqueue_task(std::function<void(ScratchArena&)> task,
+                                  bool bounded);
+  /// Pop a client-recycled plane for a sharded run's output, if any.
+  [[nodiscard]] LabelImage take_recycled_plane();
+
+  /// Pooled storage for sharded runs' global parent/remap arrays. These
+  /// live at the engine (one buffer spans all workers, so per-worker
+  /// arenas cannot hold them) and are handed out with UNSPECIFIED
+  /// contents — REM initializes p[l] = l as labels are issued and the
+  /// renumber pass zero-fills its own prefix, so the usual
+  /// std::vector value-initialization would be a full serial memset of
+  /// up to 4N bytes per run for nothing.
+  struct ShardBuffer {
+    std::unique_ptr<Label[]> data;
+    std::size_t capacity = 0;
+  };
+  /// A buffer of capacity >= n (pooled if available, grown otherwise).
+  [[nodiscard]] ShardBuffer take_shard_buffer(std::size_t n);
+  /// Hand a buffer back for the next sharded run. No-op on empty buffers.
+  void return_shard_buffer(ShardBuffer buffer);
   void worker_main(ScratchArena& arena);
   void maybe_adopt_recycled(ScratchArena& arena);
 
@@ -120,11 +170,21 @@ class LabelingEngine {
   JobQueue<Job> queue_;
   EngineStats stats_;
 
+  // Sharded-path accounting (kept out of the per-request latency stats so
+  // tile jobs don't distort the small-image percentiles).
+  std::atomic<std::uint64_t> shards_submitted_{0};
+  std::atomic<std::uint64_t> shards_completed_{0};
+  std::atomic<std::uint64_t> shard_tasks_completed_{0};
+
   // Client-returned planes waiting for a worker to adopt them. A plain
   // mutexed stack: recycling is an optimization, contention on it is not
   // on the labeling path.
   std::mutex recycled_mutex_;
   std::vector<LabelImage> recycled_planes_;
+
+  // Parent/remap buffers parked between sharded runs (see ShardBuffer).
+  std::mutex shard_buffers_mutex_;
+  std::vector<ShardBuffer> shard_buffers_;
 
   std::vector<std::unique_ptr<ScratchArena>> arenas_;
   std::vector<std::thread> threads_;

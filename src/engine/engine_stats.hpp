@@ -47,6 +47,11 @@ struct EngineStatsSnapshot {
   std::size_t scratch_reserved_bytes = 0;
   std::uint64_t scratch_grow_count = 0;
   std::uint64_t plane_reuses = 0;
+
+  // --- sharded huge-image path ----------------------------------------------
+  std::uint64_t shards_submitted = 0;      // submit_sharded calls accepted
+  std::uint64_t shards_completed = 0;      // shard promises fulfilled OK
+  std::uint64_t shard_tasks_completed = 0; // tile/seam/rewrite jobs run
 };
 
 /// Thread-safe recorder behind the snapshot.

@@ -49,6 +49,24 @@ class JobQueue {
     return true;
   }
 
+  /// Enqueue `item` without waiting for capacity; only fails (returns
+  /// false) once the queue is closed. Reserved for jobs the WORKERS
+  /// themselves spawn (the sharded path's phase continuations): a worker
+  /// blocking in push() while every other worker also blocks would
+  /// deadlock the pool, so internal fan-out must bypass the capacity
+  /// wait. External producers keep the bounded push() above — that is
+  /// the backpressure contract — and the overflow stays bounded by the
+  /// fan-out of the jobs already accepted.
+  [[nodiscard]] bool push_unbounded(T&& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Dequeue one item, blocking while the queue is empty. After close(),
   /// keeps returning queued items until drained, then nullopt forever.
   [[nodiscard]] std::optional<T> pop() {

@@ -1,0 +1,339 @@
+// Implementation of LabelingEngine::submit_sharded / label_sharded — the
+// sharded huge-image dataflow described in sharded_labeler.hpp.
+//
+// One ShardedRun object (shared_ptr-held by every job closure) carries the
+// whole pipeline: the borrowed image, the shared label plane, the global
+// union-find parent array, the tile grid, and a reusable completion latch.
+// Each phase fans out jobs; the worker that brings the latch to zero
+// advances the pipeline. No thread ever waits on another: fan-in is a
+// fetch_sub, and the acquire/release ordering on that counter is what
+// publishes one phase's writes to the next (the role the OpenMP barrier
+// plays in the in-process TiledParemspLabeler).
+#include "engine/sharded_labeler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+#include "core/tiled_phases.hpp"
+#include "engine/engine.hpp"
+#include "unionfind/parallel_rem.hpp"
+#include "unionfind/rem.hpp"
+
+namespace paremsp::engine {
+
+/// Shared state + phase logic of one sharded labeling. Methods run on
+/// whichever worker decrements the phase latch to zero.
+class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
+ public:
+  ShardedRun(LabelingEngine& engine, const BinaryImage& image,
+             const ShardOptions& options)
+      : engine_(engine), image_(image), options_(options) {
+    if (options_.merge_backend == MergeBackend::LockedRem) {
+      locks_ = std::make_unique<uf::LockPool>(options_.lock_bits);
+    }
+  }
+
+  /// Fan out the Phase-I scan jobs (bounded pushes: this runs on the
+  /// submitting thread, where backpressure belongs). Returns the future.
+  std::future<LabelingResult> start() {
+    std::future<LabelingResult> future = promise_.get_future();
+
+    result_.labels = engine_.take_recycled_plane();
+    result_.labels.resize_for_overwrite(image_.rows(), image_.cols());
+    if (image_.size() == 0) {
+      // Count before fulfilling: a caller returning from future.get() must
+      // already observe the completion in stats().
+      engine_.shards_completed_.fetch_add(1, std::memory_order_relaxed);
+      promise_.set_value(std::move(result_));
+      return future;
+    }
+
+    parents_size_ = static_cast<std::size_t>(image_.size()) + 1;
+    parents_ = engine_.take_shard_buffer(parents_size_);
+    tiles_ = make_tile_grid(image_.rows(), image_.cols(), options_.tile_rows,
+                            options_.tile_cols);
+
+    // Initial fan-out takes the bounded, backpressured queue path — this
+    // runs on the submitting thread, where blocking is the contract.
+    fan_out(
+        tiles_.size(),
+        [](const std::shared_ptr<ShardedRun>& self, std::size_t t) {
+          self->run_scan(t);
+        },
+        /*bounded=*/true);
+    return future;
+  }
+
+ private:
+  // --- Phase I: tile-local AREMSP scans -------------------------------------
+  void run_scan(std::size_t t) {
+    if (!failed_.load(std::memory_order_acquire)) {
+      try {
+        auto& tile = tiles_[t];
+        tile.used = scan_tile(image_, result_.labels,
+                              {parents_.data.get(), parents_size_}, tile);
+      } catch (...) {
+        fail(std::current_exception());
+      }
+    }
+    finish_phase(1, &ShardedRun::start_merge);
+  }
+
+  // --- Phase II: seam merges ------------------------------------------------
+  void start_merge() {
+    result_.timings.scan_ms = timer_.elapsed_ms();
+    if (failed_.load(std::memory_order_acquire)) {
+      // Nothing else is in flight (the scan latch just drained): report.
+      deliver();
+      return;
+    }
+    if (tiles_.size() == 1 || options_.merge_backend == MergeBackend::Sequential) {
+      // One merge job: a single tile has no seams to merge, and the
+      // Sequential ablation backend must not run unions concurrently.
+      fan_out(1, [](const std::shared_ptr<ShardedRun>& self) {
+        self->run_merge_all();
+      });
+      return;
+    }
+    fan_out(tiles_.size(), [](const std::shared_ptr<ShardedRun>& self,
+                              std::size_t t) { self->run_merge(t); });
+  }
+
+  void run_merge(std::size_t t) {
+    if (!failed_.load(std::memory_order_acquire)) {
+      try {
+        Label* p = parents_.data.get();
+        if (options_.merge_backend == MergeBackend::LockedRem) {
+          merge_tile_seams(result_.labels, tiles_[t], [&](Label x, Label y) {
+            uf::locked_unite(p, *locks_, x, y);
+          });
+        } else {
+          merge_tile_seams(result_.labels, tiles_[t], [&](Label x, Label y) {
+            uf::cas_unite(p, x, y);
+          });
+        }
+      } catch (...) {
+        fail(std::current_exception());
+      }
+    }
+    finish_phase(1, &ShardedRun::resolve);
+  }
+
+  void run_merge_all() {
+    if (!failed_.load(std::memory_order_acquire)) {
+      try {
+        Label* p = parents_.data.get();
+        for (const TileSpec& tile : tiles_) {
+          merge_tile_seams(result_.labels, tile, [&](Label x, Label y) {
+            uf::rem_unite(p, x, y);
+          });
+        }
+      } catch (...) {
+        fail(std::current_exception());
+      }
+    }
+    finish_phase(1, &ShardedRun::resolve);
+  }
+
+  // --- Phase III: FLATTEN + canonical renumber (single worker) --------------
+  void resolve() {
+    result_.timings.merge_ms = timer_.elapsed_ms() - result_.timings.scan_ms;
+    if (!failed_.load(std::memory_order_acquire)) {
+      try {
+        Label total_used = 0;
+        for (const TileSpec& tile : tiles_) total_used += tile.used;
+        const std::size_t remap_size =
+            static_cast<std::size_t>(total_used) + 1;
+        remap_ = engine_.take_shard_buffer(remap_size);
+        result_.num_components = resolve_final_labels(
+            {parents_.data.get(), parents_size_}, tiles_, result_.labels,
+            {remap_.data.get(), remap_size});
+      } catch (...) {
+        fail(std::current_exception());
+      }
+    }
+    result_.timings.flatten_ms =
+        timer_.elapsed_ms() - result_.timings.scan_ms -
+        result_.timings.merge_ms;
+    if (failed_.load(std::memory_order_acquire)) {
+      // The merge latch just drained and no rewrite jobs exist: report.
+      deliver();
+      return;
+    }
+
+    // --- Phase IV: parallel rewrite over row bands --------------------------
+    const std::size_t bands = std::min<std::size_t>(
+        static_cast<std::size_t>(engine_.workers()),
+        static_cast<std::size_t>(image_.rows()));
+    rewrite_bands_ = bands;
+    fan_out(bands, [](const std::shared_ptr<ShardedRun>& self,
+                      std::size_t band) { self->run_rewrite(band); });
+  }
+
+  void run_rewrite(std::size_t band) {
+    if (!failed_.load(std::memory_order_acquire)) {
+      const Coord rows = image_.rows();
+      const Coord row_begin = static_cast<Coord>(
+          static_cast<std::int64_t>(rows) * static_cast<std::int64_t>(band) /
+          static_cast<std::int64_t>(rewrite_bands_));
+      const Coord row_end = static_cast<Coord>(
+          static_cast<std::int64_t>(rows) *
+          static_cast<std::int64_t>(band + 1) /
+          static_cast<std::int64_t>(rewrite_bands_));
+      const Label* p = parents_.data.get();
+      for (Coord r = row_begin; r < row_end; ++r) {
+        Label* row = result_.labels.row(r);
+        for (Coord c = 0; c < image_.cols(); ++c) {
+          if (row[c] != 0) row[c] = p[row[c]];
+        }
+      }
+    }
+    finish_phase(1, &ShardedRun::deliver);
+  }
+
+  /// Terminal step, reached exactly once per run, only after every job of
+  /// every phase has drained — which is what lets the engine promise that
+  /// a ready future means no worker still reads the borrowed image, on
+  /// the failure path included.
+  void deliver() {
+    result_.timings.relabel_ms =
+        timer_.elapsed_ms() - result_.timings.scan_ms -
+        result_.timings.merge_ms - result_.timings.flatten_ms;
+    result_.timings.total_ms = timer_.elapsed_ms();
+    // Park the work buffers for the next run. Safe exactly here: every
+    // job has drained, and the engine is alive (deliver runs on a worker
+    // or on the submitting thread).
+    engine_.return_shard_buffer(std::move(parents_));
+    engine_.return_shard_buffer(std::move(remap_));
+    if (failed_.load(std::memory_order_acquire)) {
+      promise_.set_exception(error_);
+      return;
+    }
+    // Count before fulfilling: a caller returning from future.get() must
+    // already observe the completion in stats().
+    engine_.shards_completed_.fetch_add(1, std::memory_order_relaxed);
+    promise_.set_value(std::move(result_));
+  }
+
+  // --- Fan-out / fan-in machinery -------------------------------------------
+
+  /// Arm the latch with `count` and push that many phase jobs. `invoke`
+  /// receives (self [, index]). `bounded` is true only for the initial
+  /// fan-out from the submitting thread (backpressure belongs there);
+  /// worker-spawned continuations must stay unbounded or the pool could
+  /// deadlock blocking on its own queue. Never throws and never strands
+  /// the latch: a failed or throwing push fails the shard and drains the
+  /// latch for the jobs that were never launched, so the pipeline always
+  /// reaches deliver(). Must be the caller's last statement — jobs may
+  /// start (and zero the latch) before it returns.
+  template <class Invoke>
+  void fan_out(std::size_t count, Invoke invoke,
+               bool bounded = false) noexcept {
+    auto self = shared_from_this();
+    remaining_.store(static_cast<std::int64_t>(count),
+                     std::memory_order_relaxed);
+    std::size_t launched = 0;
+    try {
+      for (; launched < count; ++launched) {
+        const std::size_t i = launched;
+        const bool accepted = engine_.enqueue_task(
+            [self, invoke, i](ScratchArena&) {
+              if constexpr (std::is_invocable_v<
+                                Invoke, const std::shared_ptr<ShardedRun>&,
+                                std::size_t>) {
+                invoke(self, i);
+              } else {
+                invoke(self);
+              }
+            },
+            bounded);
+        if (!accepted) {
+          // Engine shut down between phases: nothing will run the
+          // remaining jobs.
+          fail_shutdown();
+          break;
+        }
+      }
+    } catch (...) {  // closure allocation / queue growth (bad_alloc)
+      fail(std::current_exception());
+    }
+    if (launched < count) {
+      finish_phase(static_cast<std::int64_t>(count - launched));
+    }
+  }
+
+  /// Decrement the phase latch by `n`; the worker that reaches zero runs
+  /// `next` (nothing on the final phase). fetch_sub(acq_rel) makes every
+  /// phase's writes visible to the thread running the next phase.
+  void finish_phase(std::int64_t n, void (ShardedRun::*next)() = nullptr) {
+    if (remaining_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+      if (next != nullptr) {
+        (this->*next)();
+      } else {
+        deliver();
+      }
+    }
+  }
+
+  /// Record the first error. The promise is NOT failed here: it is only
+  /// fulfilled in deliver(), after every latch drains, so a ready future
+  /// always means the run has quiesced (no job still reads the borrowed
+  /// image or the shared plane). The claim flag serializes the winner;
+  /// error_ is fully written before the release store to failed_, and
+  /// every path into deliver() acquire-loads failed_ (directly or through
+  /// the latch), so the error is visible wherever it is rethrown.
+  void fail(std::exception_ptr error) noexcept {
+    if (error_claimed_.exchange(true, std::memory_order_relaxed)) return;
+    error_ = std::move(error);
+    failed_.store(true, std::memory_order_release);
+  }
+
+  void fail_shutdown() {
+    fail(std::make_exception_ptr(
+        PreconditionError("LabelingEngine shut down mid-shard")));
+  }
+
+  LabelingEngine& engine_;
+  const BinaryImage& image_;
+  const ShardOptions options_;
+  std::unique_ptr<uf::LockPool> locks_;
+
+  LabelingResult result_;
+  LabelingEngine::ShardBuffer parents_;  // global union-find parents
+  std::size_t parents_size_ = 0;         // image.size() + 1
+  LabelingEngine::ShardBuffer remap_;    // renumber table (Phase III)
+  std::vector<TileSpec> tiles_;
+  std::size_t rewrite_bands_ = 1;
+
+  std::promise<LabelingResult> promise_;
+  std::atomic<std::int64_t> remaining_{0};
+  std::atomic<bool> error_claimed_{false};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  WallTimer timer_;
+};
+
+std::future<LabelingResult> LabelingEngine::submit_sharded(
+    const BinaryImage& image, const ShardOptions& options) {
+  PAREMSP_REQUIRE(options.tile_rows >= 1 && options.tile_cols >= 1,
+                  "shard tiles must be at least 1x1");
+  PAREMSP_REQUIRE(options.lock_bits >= 0 && options.lock_bits <= 24,
+                  "lock_bits out of range");
+  shards_submitted_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<ShardedRun>(*this, image, options)->start();
+}
+
+LabelingResult LabelingEngine::label_sharded(const BinaryImage& image,
+                                             const ShardOptions& options) {
+  return submit_sharded(image, options).get();
+}
+
+}  // namespace paremsp::engine

@@ -1,0 +1,52 @@
+// Sharded huge-image labeling through the batch engine.
+//
+// PR 1's engine scales MANY SMALL images across persistent workers; this
+// path points the same worker pool at ONE GIANT image. The image is
+// decomposed into a grid of tiles (core/tiled_phases.hpp) and labeled as a
+// dataflow of engine jobs:
+//
+//   submit_sharded ──► scan job per tile ──┐ (completion latch)
+//                                          ▼
+//                      seam-merge job per tile (parallel REM, Algorithm 8)
+//                                          │ (completion latch)
+//                                          ▼
+//                      FLATTEN + canonical renumber (one worker)
+//                                          │
+//                      rewrite job per row band ──► promise.set_value
+//
+// Fan-in uses a per-phase completion latch on the shared run state rather
+// than one future per tile job: the worker that decrements the latch to
+// zero advances the phase, so no thread ever blocks waiting on tile
+// futures and the whole pipeline is asynchronous end to end. Phase
+// continuations enter the queue through JobQueue::push_unbounded (a worker
+// blocking on a full queue while every other worker does the same would
+// deadlock the pool); only the initial tile fan-out from the submitting
+// thread takes the bounded, backpressured push.
+//
+// Output is bit-identical to sequential AREMSP for every tile geometry and
+// worker count — the canonical scan-order first-appearance renumber inside
+// resolve_final_labels restores the sequential numbering that 2-D label
+// bases permute (DESIGN.md §5).
+#pragma once
+
+#include "core/paremsp.hpp"  // MergeBackend
+#include "image/raster.hpp"
+#include "unionfind/lock_pool.hpp"
+
+namespace paremsp::engine {
+
+/// Tuning knobs for LabelingEngine::submit_sharded / label_sharded.
+struct ShardOptions {
+  /// Tile height in rows; any value >= 1 (oversize clamps to the image).
+  Coord tile_rows = 512;
+  /// Tile width in columns. Minimum 1.
+  Coord tile_cols = 512;
+  /// Seam-merge backend (shared with PAREMSP). Sequential runs every seam
+  /// in one job — the ablation lower bound — since rem_unite must not run
+  /// concurrently; the parallel backends get one merge job per tile.
+  MergeBackend merge_backend = MergeBackend::LockedRem;
+  /// log2 of the striped lock-pool size (LockedRem only).
+  int lock_bits = uf::LockPool::kDefaultBits;
+};
+
+}  // namespace paremsp::engine

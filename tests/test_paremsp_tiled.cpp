@@ -1,11 +1,12 @@
-// Tests for the 2-D tiled PAREMSP extension: partition equivalence with
-// AREMSP on adversarial tile grids, determinism, and the single-tile
-// degenerate case (bit-identical to AREMSP).
+// Tests for the 2-D tiled PAREMSP extension: bit-identical output to
+// sequential AREMSP on adversarial tile grids (the canonical renumber in
+// core/tiled_phases.cpp makes every grid geometry exact, not merely
+// partition-equivalent), determinism, and degenerate tile shapes down to
+// single-pixel tiles.
 #include <gtest/gtest.h>
 
 #include <string>
 
-#include "analysis/equivalence.hpp"
 #include "analysis/validation.hpp"
 #include "core/aremsp.hpp"
 #include "core/paremsp_tiled.hpp"
@@ -31,7 +32,7 @@ void expect_matches_aremsp(const TiledParemspLabeler& labeler,
   const auto expected = AremspLabeler().label(image);
   const auto got = labeler.label(image);
   EXPECT_EQ(got.num_components, expected.num_components);
-  EXPECT_TRUE(analysis::equivalent_labelings(got.labels, expected.labels));
+  EXPECT_EQ(got.labels, expected.labels);  // bit-identical, any grid
   const auto v = analysis::validate_labeling(image, got.labels,
                                              got.num_components);
   EXPECT_TRUE(v.ok) << v.error;
@@ -40,7 +41,7 @@ void expect_matches_aremsp(const TiledParemspLabeler& labeler,
 class TiledGrid
     : public ::testing::TestWithParam<std::pair<Coord, Coord>> {};
 
-TEST_P(TiledGrid, PartitionEquivalentToAremsp) {
+TEST_P(TiledGrid, BitIdenticalToAremsp) {
   const auto [tr, tc] = GetParam();
   const auto labeler = tiled(tr, tc);
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
@@ -67,7 +68,9 @@ TEST_P(TiledGrid, Fixtures) {
 
 INSTANTIATE_TEST_SUITE_P(
     GridSizes, TiledGrid,
-    ::testing::Values(std::pair<Coord, Coord>{2, 2},    // extreme: 2x2 tiles
+    ::testing::Values(std::pair<Coord, Coord>{1, 1},    // single-pixel tiles
+                      std::pair<Coord, Coord>{2, 2},
+                      std::pair<Coord, Coord>{3, 5},    // odd x odd
                       std::pair<Coord, Coord>{8, 8},
                       std::pair<Coord, Coord>{16, 32},
                       std::pair<Coord, Coord>{32, 16},
@@ -103,8 +106,7 @@ TEST(TiledParemsp, AllMergeBackends) {
     const auto got = tiled(8, 8, 4, backend).label(image);
     EXPECT_EQ(got.num_components, expected.num_components)
         << to_string(backend);
-    EXPECT_TRUE(
-        analysis::equivalent_labelings(got.labels, expected.labels));
+    EXPECT_EQ(got.labels, expected.labels) << to_string(backend);
   }
 }
 
@@ -136,14 +138,16 @@ TEST(TiledParemsp, OddSizedEdgesAndTinyImages) {
 TEST(TiledParemsp, ConfigValidation) {
   EXPECT_THROW(TiledParemspLabeler(TiledParemspConfig{.threads = -1}),
                PreconditionError);
-  EXPECT_THROW(TiledParemspLabeler(TiledParemspConfig{.tile_rows = 1}),
+  EXPECT_THROW(TiledParemspLabeler(TiledParemspConfig{.tile_rows = 0}),
                PreconditionError);
   EXPECT_THROW(TiledParemspLabeler(TiledParemspConfig{.tile_cols = 0}),
                PreconditionError);
   EXPECT_THROW(TiledParemspLabeler(TiledParemspConfig{.lock_bits = 99}),
                PreconditionError);
+  // Odd tile heights are legal: the canonical renumber makes any grid
+  // geometry bit-identical, so no even-rounding is needed.
   const TiledParemspLabeler ok(TiledParemspConfig{.tile_rows = 3});
-  EXPECT_EQ(ok.config().tile_rows, 4);  // rounded up to even
+  EXPECT_EQ(ok.config().tile_rows, 3);
   EXPECT_EQ(ok.name(), "paremsp2d");
   EXPECT_TRUE(ok.is_parallel());
 }

@@ -4,7 +4,10 @@
 #include <set>
 #include <string>
 
+#include "baselines/arun.hpp"
+#include "baselines/run_he2008.hpp"
 #include "common/contracts.hpp"
+#include "core/aremsp.hpp"
 #include "core/registry.hpp"
 
 namespace paremsp {
@@ -86,6 +89,33 @@ TEST(Registry, FourConnectivityGatingMatchesCatalog) {
           << info.name;
     }
   }
+}
+
+TEST(Registry, SupportsIsTheSingleSourceOfTruth) {
+  for (const auto& info : algorithm_catalog()) {
+    // Everything labels under 8-connectivity; 4-connectivity follows the
+    // catalog flag — supports() is just the queryable form of it.
+    EXPECT_TRUE(info.supports(Connectivity::Eight)) << info.name;
+    EXPECT_EQ(info.supports(Connectivity::Four),
+              info.supports_four_connectivity)
+        << info.name;
+    // require_supported throws exactly when supports() says no.
+    if (info.supports(Connectivity::Four)) {
+      EXPECT_NO_THROW(require_supported(info.id, Connectivity::Four));
+    } else {
+      EXPECT_THROW(require_supported(info.id, Connectivity::Four),
+                   PreconditionError);
+    }
+  }
+}
+
+TEST(Registry, DirectConstructionRejectsLikeTheFactory) {
+  // The two-line-scan labelers consult the registry from their own
+  // constructors, so direct construction and make_labeler reject an
+  // unsupported connectivity with the same PreconditionError.
+  EXPECT_THROW(AremspLabeler{Connectivity::Four}, PreconditionError);
+  EXPECT_THROW(ArunLabeler{Connectivity::Four}, PreconditionError);
+  EXPECT_THROW(RunLabeler{Connectivity::Four}, PreconditionError);
 }
 
 }  // namespace

@@ -1,0 +1,231 @@
+// Sharded huge-image labeling through the engine: bit-identical
+// equivalence with sequential AREMSP across tile geometries and worker
+// counts, async pipelining, shutdown-mid-shard, and degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "analysis/validation.hpp"
+#include "common/contracts.hpp"
+#include "core/aremsp.hpp"
+#include "engine/engine.hpp"
+#include "image/generators.hpp"
+
+namespace paremsp {
+namespace {
+
+using engine::EngineConfig;
+using engine::LabelingEngine;
+using engine::ShardOptions;
+
+/// Adversarial content mix: organic patches, a seam-crossing spiral, a
+/// corner-contact checkerboard, plus noise — every seam type appears.
+BinaryImage shard_image(Coord rows, Coord cols, std::uint64_t seed) {
+  switch (seed % 4) {
+    case 0: return gen::landcover_like(rows, cols, seed);
+    case 1: return gen::spiral(rows, cols, 2, 3);
+    case 2: return gen::checkerboard(rows, cols, 1);
+    default: return gen::uniform_noise(rows, cols, 0.5, seed);
+  }
+}
+
+void expect_bit_identical(const LabelingResult& got,
+                          const LabelingResult& want,
+                          const std::string& context) {
+  EXPECT_EQ(got.num_components, want.num_components) << context;
+  EXPECT_EQ(got.labels, want.labels) << context;
+}
+
+TEST(Sharded, TileGeometryByWorkerCountMatrixIsBitIdenticalToAremsp) {
+  const Coord rows = 61, cols = 83;  // odd on purpose: ragged edge tiles
+  const AremspLabeler reference;
+
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::pair<Coord, Coord>> geometries = {
+      {1, cols},     // 1 x N row-strip tiles
+      {rows, 1},     // N x 1 column-strip tiles
+      {7, 9},        // odd x odd
+      {1024, 1024},  // tile > image: single tile
+      {1, 1},        // single-pixel tiles
+      {16, 16},
+  };
+  for (const int workers : {1, 2, hw}) {
+    LabelingEngine eng({.workers = workers});
+    for (const auto& [tr, tc] : geometries) {
+      for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        const BinaryImage image = shard_image(rows, cols, seed);
+        const LabelingResult want = reference.label(image);
+        const LabelingResult got = eng.label_sharded(
+            image, ShardOptions{.tile_rows = tr, .tile_cols = tc});
+        expect_bit_identical(
+            got, want,
+            "tiles " + std::to_string(tr) + "x" + std::to_string(tc) +
+                " workers " + std::to_string(workers) + " seed " +
+                std::to_string(seed));
+        const auto v = analysis::validate_labeling(image, got.labels,
+                                                   got.num_components);
+        EXPECT_TRUE(v.ok) << v.error;
+      }
+    }
+    const auto stats = eng.stats();
+    EXPECT_EQ(stats.shards_submitted, geometries.size() * 4);
+    EXPECT_EQ(stats.shards_completed, geometries.size() * 4);
+    EXPECT_GT(stats.shard_tasks_completed, 0u);
+    // Shard jobs must not pollute the per-request latency stats.
+    EXPECT_EQ(stats.jobs_submitted, 0u);
+  }
+}
+
+TEST(Sharded, AllMergeBackendsMatch) {
+  const BinaryImage image = gen::uniform_noise(64, 64, 0.55, 17);
+  const LabelingResult want = AremspLabeler().label(image);
+  LabelingEngine eng({.workers = 3});
+  for (const auto backend : {MergeBackend::LockedRem, MergeBackend::CasRem,
+                             MergeBackend::Sequential}) {
+    const LabelingResult got = eng.label_sharded(
+        image, ShardOptions{
+                   .tile_rows = 8, .tile_cols = 8, .merge_backend = backend});
+    expect_bit_identical(got, want, to_string(backend));
+  }
+}
+
+TEST(Sharded, ManyShardsPipelineConcurrently) {
+  // Several sharded images in flight at once: the phase latches must not
+  // cross-talk between runs, and results must land on the right futures.
+  LabelingEngine eng({.workers = 4});
+  constexpr int kShards = 6;
+  std::vector<BinaryImage> images;
+  std::vector<std::future<LabelingResult>> futures;
+  for (int i = 0; i < kShards; ++i) {
+    images.push_back(shard_image(48 + 3 * i, 52 + 5 * i,
+                                 static_cast<std::uint64_t>(i)));
+  }
+  for (int i = 0; i < kShards; ++i) {
+    futures.push_back(eng.submit_sharded(
+        images[static_cast<std::size_t>(i)],
+        ShardOptions{.tile_rows = 13, .tile_cols = 11}));
+  }
+  const AremspLabeler reference;
+  for (int i = 0; i < kShards; ++i) {
+    expect_bit_identical(futures[static_cast<std::size_t>(i)].get(),
+                         reference.label(images[static_cast<std::size_t>(i)]),
+                         "shard " + std::to_string(i));
+  }
+}
+
+TEST(Sharded, MixesWithSmallImageTraffic) {
+  // A sharded run and regular submit() traffic share the worker pool.
+  LabelingEngine eng({.workers = 3});
+  const BinaryImage big = gen::landcover_like(96, 96, 5);
+  const BinaryImage small = gen::texture_like(24, 24, 6);
+
+  auto shard_future =
+      eng.submit_sharded(big, ShardOptions{.tile_rows = 16, .tile_cols = 16});
+  std::vector<std::future<LabelingResult>> small_futures;
+  for (int i = 0; i < 20; ++i) small_futures.push_back(eng.submit(small));
+
+  const AremspLabeler reference;
+  expect_bit_identical(shard_future.get(), reference.label(big), "shard");
+  const LabelingResult small_want = reference.label(small);
+  for (auto& f : small_futures) {
+    expect_bit_identical(f.get(), small_want, "small job");
+  }
+}
+
+TEST(Sharded, EmptyAndDegenerateImages) {
+  LabelingEngine eng({.workers = 2});
+  // Zero-size image: immediately-ready future, no jobs scheduled.
+  const LabelingResult empty = eng.label_sharded(BinaryImage());
+  EXPECT_EQ(empty.num_components, 0);
+  EXPECT_EQ(empty.labels.size(), 0);
+
+  const AremspLabeler reference;
+  for (const auto [rows, cols] :
+       {std::pair<Coord, Coord>{1, 64}, std::pair<Coord, Coord>{64, 1},
+        std::pair<Coord, Coord>{1, 1}, std::pair<Coord, Coord>{3, 3}}) {
+    const BinaryImage image = gen::uniform_noise(
+        rows, cols, 0.6, static_cast<std::uint64_t>(rows * 131 + cols));
+    expect_bit_identical(
+        eng.label_sharded(image, ShardOptions{.tile_rows = 4, .tile_cols = 4}),
+        reference.label(image),
+        std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  // All-foreground and all-background planes.
+  expect_bit_identical(
+      eng.label_sharded(BinaryImage(33, 29, 1),
+                        ShardOptions{.tile_rows = 8, .tile_cols = 8}),
+      reference.label(BinaryImage(33, 29, 1)), "all foreground");
+  expect_bit_identical(
+      eng.label_sharded(BinaryImage(33, 29, 0),
+                        ShardOptions{.tile_rows = 8, .tile_cols = 8}),
+      reference.label(BinaryImage(33, 29, 0)), "all background");
+}
+
+TEST(Sharded, SubmitAfterShutdownFailsTheFuture) {
+  LabelingEngine eng({.workers = 2});
+  const BinaryImage image = gen::landcover_like(40, 40, 9);
+  eng.shutdown();
+  auto future = eng.submit_sharded(image);
+  EXPECT_THROW((void)future.get(), PreconditionError);
+}
+
+TEST(Sharded, ShutdownMidShardEitherCompletesOrFailsCleanly) {
+  // Race shutdown against in-flight shards many times: every future must
+  // become ready, carrying either the exact AREMSP result (the accepted
+  // jobs drained in time) or the shutdown PreconditionError — never a
+  // hang, never a wrong labeling.
+  const BinaryImage image = gen::landcover_like(80, 80, 11);
+  const LabelingResult want = AremspLabeler().label(image);
+  for (int round = 0; round < 8; ++round) {
+    LabelingEngine eng({.workers = 2});
+    std::vector<std::future<LabelingResult>> futures;
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(eng.submit_sharded(
+          image, ShardOptions{.tile_rows = 8, .tile_cols = 8}));
+    }
+    eng.shutdown();
+    int completed = 0, failed = 0;
+    for (auto& f : futures) {
+      try {
+        expect_bit_identical(f.get(), want, "round " + std::to_string(round));
+        ++completed;
+      } catch (const PreconditionError&) {
+        ++failed;
+      }
+    }
+    EXPECT_EQ(completed + failed, 4);
+  }
+}
+
+TEST(Sharded, RejectsInvalidOptions) {
+  LabelingEngine eng({.workers = 1});
+  const BinaryImage image(8, 8, 1);
+  EXPECT_THROW((void)eng.submit_sharded(image, ShardOptions{.tile_rows = 0}),
+               PreconditionError);
+  EXPECT_THROW((void)eng.submit_sharded(image, ShardOptions{.tile_cols = 0}),
+               PreconditionError);
+  EXPECT_THROW((void)eng.submit_sharded(image, ShardOptions{.lock_bits = 99}),
+               PreconditionError);
+}
+
+TEST(Sharded, ReusesRecycledPlanes) {
+  LabelingEngine eng({.workers = 2});
+  const BinaryImage image = gen::landcover_like(64, 64, 21);
+  LabelingResult first = eng.label_sharded(
+      image, ShardOptions{.tile_rows = 16, .tile_cols = 16});
+  const Label* storage = first.labels.pixels().data();
+  eng.recycle(std::move(first.labels));
+  // The next shard adopts the recycled plane instead of allocating: same
+  // backing storage, bit-identical contents.
+  LabelingResult second = eng.label_sharded(
+      image, ShardOptions{.tile_rows = 16, .tile_cols = 16});
+  EXPECT_EQ(second.labels.pixels().data(), storage);
+  expect_bit_identical(second, AremspLabeler().label(image), "recycled");
+}
+
+}  // namespace
+}  // namespace paremsp

@@ -6,6 +6,7 @@
 #include <omp.h>
 
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/prng.hpp"
@@ -124,6 +125,81 @@ TEST_P(ParallelMerge, ParentsStayBelowIndices) {
 
 INSTANTIATE_TEST_SUITE_P(
     Backends, ParallelMerge,
+    ::testing::Combine(::testing::Values(Backend::Locked, Backend::Cas),
+                       ::testing::Values(2, 4, 8),
+                       ::testing::Values(2, 12)),
+    [](const auto& pinfo) {
+      std::string name =
+          std::get<0>(pinfo.param) == Backend::Locked ? "locked" : "cas";
+      name += "_t" + std::to_string(std::get<1>(pinfo.param));
+      name += "_b" + std::to_string(std::get<2>(pinfo.param));
+      return name;
+    });
+
+// --- std::thread variants (ThreadSanitizer coverage) -----------------------
+//
+// The OpenMP tests above exercise the mergers under the schedules the
+// labelers actually use, but GCC's libgomp is not TSan-instrumented, so
+// the CI ThreadSanitizer job cannot run them without false positives.
+// These equivalents drive the same backends from plain std::thread and
+// are what the TSan job pins (see .github/workflows/ci.yml).
+
+void run_parallel_std_thread(Backend backend, Label n,
+                             const std::vector<Edge>& edges,
+                             std::vector<Label>& p, int threads,
+                             int lock_bits) {
+  p.resize(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  LockPool locks(lock_bits);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < edges.size();
+           i += static_cast<std::size_t>(threads)) {
+        if (backend == Backend::Locked) {
+          locked_unite(p.data(), locks, edges[i].first, edges[i].second);
+        } else {
+          cas_unite(p.data(), edges[i].first, edges[i].second);
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+class ParallelMergeStdThread
+    : public ::testing::TestWithParam<std::tuple<Backend, int, int>> {};
+
+TEST_P(ParallelMergeStdThread, PartitionMatchesSequentialRem) {
+  const auto [backend, threads, lock_bits] = GetParam();
+  constexpr Label n = 2000;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto edges = random_edges(n, 6000, seed);
+    const auto expected = sequential_roots(n, edges);
+    std::vector<Label> p;
+    run_parallel_std_thread(backend, n, edges, p, threads, lock_bits);
+    for (Label i = 0; i < n; ++i) {
+      ASSERT_EQ(rem_find(p.data(), i), expected[static_cast<std::size_t>(i)])
+          << "element " << i << " seed " << seed;
+    }
+  }
+}
+
+TEST_P(ParallelMergeStdThread, HighContentionSingleComponent) {
+  const auto [backend, threads, lock_bits] = GetParam();
+  constexpr Label n = 1024;
+  std::vector<Edge> edges;
+  for (Label i = 1; i < n; ++i) edges.emplace_back(0, i);
+  for (Label i = 1; i < n; ++i) edges.emplace_back(i, n - i);
+  std::vector<Label> p;
+  run_parallel_std_thread(backend, n, edges, p, threads, lock_bits);
+  for (Label i = 0; i < n; ++i) {
+    ASSERT_EQ(rem_find(p.data(), i), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ParallelMergeStdThread,
     ::testing::Combine(::testing::Values(Backend::Locked, Backend::Cas),
                        ::testing::Values(2, 4, 8),
                        ::testing::Values(2, 12)),
