@@ -42,11 +42,13 @@ int main(int argc, char** argv) {
         debris.pixels()[static_cast<std::size_t>(i)];
   }
 
-  // Label and measure.
+  // Label and measure in one fused pass: PAREMSP accumulates the
+  // per-component features during the labeling scan itself, so the slide
+  // is never re-read for analysis (DESIGN.md §6).
   const auto labeler = make_labeler(Algorithm::Paremsp);
-  const LabelingResult result = labeler->label(slide);
-  const auto stats =
-      analysis::compute_stats(result.labels, result.num_components);
+  const LabelingWithStats labeled = labeler->label_with_stats(slide);
+  const LabelingResult& result = labeled.labeling;
+  const analysis::ComponentStats& stats = labeled.stats;
 
   // A genuine cell is at least a disk of the minimum radius; debris is
   // single pixels and tiny specks.

@@ -35,9 +35,6 @@ ComponentStats compute_stats(const LabelImage& labels, Label num_components) {
     info.bbox = BoundingBox{labels.rows(), labels.cols(), -1, -1};
   }
 
-  std::vector<double> row_sum(static_cast<std::size_t>(num_components), 0.0);
-  std::vector<double> col_sum(static_cast<std::size_t>(num_components), 0.0);
-
   for (Coord r = 0; r < labels.rows(); ++r) {
     for (Coord c = 0; c < labels.cols(); ++c) {
       const Label l = labels(r, c);
@@ -50,8 +47,8 @@ ComponentStats compute_stats(const LabelImage& labels, Label num_components) {
       info.bbox.col_min = std::min(info.bbox.col_min, c);
       info.bbox.row_max = std::max(info.bbox.row_max, r);
       info.bbox.col_max = std::max(info.bbox.col_max, c);
-      row_sum[static_cast<std::size_t>(l - 1)] += r;
-      col_sum[static_cast<std::size_t>(l - 1)] += c;
+      info.row_sum += r;
+      info.col_sum += c;
     }
   }
 
@@ -60,9 +57,9 @@ ComponentStats compute_stats(const LabelImage& labels, Label num_components) {
     PAREMSP_REQUIRE(info.area > 0,
                     "labeling claims a component with no pixels");
     info.centroid_row =
-        row_sum[static_cast<std::size_t>(l)] / static_cast<double>(info.area);
+        static_cast<double>(info.row_sum) / static_cast<double>(info.area);
     info.centroid_col =
-        col_sum[static_cast<std::size_t>(l)] / static_cast<double>(info.area);
+        static_cast<double>(info.col_sum) / static_cast<double>(info.area);
   }
   return stats;
 }

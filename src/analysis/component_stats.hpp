@@ -24,13 +24,21 @@ struct BoundingBox {
   friend bool operator==(const BoundingBox&, const BoundingBox&) = default;
 };
 
-/// Measurements for one connected component.
+/// Measurements for one connected component. The centroid is carried both
+/// as exact integer coordinate sums (order-independent, safe to compare
+/// bit-for-bit across labeling strategies) and as the derived means
+/// (row_sum / area); every producer — the post-pass compute_stats and the
+/// fused label_with_stats paths — computes the doubles from the sums, so
+/// equal sums guarantee equal centroids.
 struct ComponentInfo {
   Label label = 0;
   std::int64_t area = 0;       // pixel count
   BoundingBox bbox;
-  double centroid_row = 0.0;   // mean pixel coordinates
-  double centroid_col = 0.0;
+  std::int64_t row_sum = 0;    // exact centroid numerators
+  std::int64_t col_sum = 0;
+  double centroid_row = 0.0;   // row_sum / area
+  double centroid_col = 0.0;   // col_sum / area
+  friend bool operator==(const ComponentInfo&, const ComponentInfo&) = default;
 };
 
 /// Aggregate statistics over all components of a labeling.

@@ -1,0 +1,49 @@
+#include "analysis/feature_accumulator.hpp"
+
+#include "common/contracts.hpp"
+
+namespace paremsp::analysis {
+
+void fold_features(std::span<const FeatureCell> cells,
+                   std::span<const Label> final_of, Label lo, Label hi,
+                   std::span<ComponentInfo> components) {
+  for (Label l = lo; l <= hi; ++l) {
+    const FeatureCell& cell = cells[static_cast<std::size_t>(l)];
+    const Label final_label = final_of[static_cast<std::size_t>(l)];
+    PAREMSP_REQUIRE(final_label >= 1 &&
+                        static_cast<std::size_t>(final_label) <=
+                            components.size(),
+                    "resolved label outside [1, num_components]");
+    ComponentInfo& info =
+        components[static_cast<std::size_t>(final_label - 1)];
+    info.area += cell.area;
+    if (cell.area > 0) {
+      if (info.bbox.row_max < info.bbox.row_min) {  // still empty
+        info.bbox = BoundingBox{cell.row_min, cell.col_min, cell.row_max,
+                                cell.col_max};
+      } else {
+        info.bbox.row_min = std::min(info.bbox.row_min, cell.row_min);
+        info.bbox.col_min = std::min(info.bbox.col_min, cell.col_min);
+        info.bbox.row_max = std::max(info.bbox.row_max, cell.row_max);
+        info.bbox.col_max = std::max(info.bbox.col_max, cell.col_max);
+      }
+    }
+    info.row_sum += cell.row_sum;
+    info.col_sum += cell.col_sum;
+  }
+}
+
+void finalize_components(std::span<ComponentInfo> components) {
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    ComponentInfo& info = components[i];
+    PAREMSP_REQUIRE(info.area > 0,
+                    "labeling claims a component with no pixels");
+    info.label = static_cast<Label>(i) + 1;
+    info.centroid_row =
+        static_cast<double>(info.row_sum) / static_cast<double>(info.area);
+    info.centroid_col =
+        static_cast<double>(info.col_sum) / static_cast<double>(info.area);
+  }
+}
+
+}  // namespace paremsp::analysis

@@ -38,6 +38,25 @@ int env_int(const char* name, int fallback) {
   }
 }
 
+std::uint64_t env_uint64(const char* name, std::uint64_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  // stoull would wrap a negative input to a huge value instead of
+  // failing; a '-' anywhere means the string is not a valid u64.
+  if (s->find('-') != std::string::npos) return fallback;
+  // Explicit base selection: "0x..." is hex, everything else decimal —
+  // base 0 would silently read a leading-zero seed like "0123" as octal.
+  const bool hex = s->size() > 2 && (*s)[0] == '0' &&
+                   ((*s)[1] == 'x' || (*s)[1] == 'X');
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(*s, &pos, hex ? 16 : 10);
+    return pos == s->size() ? v : fallback;
+  } catch (...) {
+    return fallback;
+  }
+}
+
 int hardware_threads() { return omp_get_max_threads(); }
 
 std::string environment_banner() {

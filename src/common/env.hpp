@@ -5,6 +5,7 @@
 // experiments without recompiling; see DESIGN.md substitution S3.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -18,6 +19,12 @@ double env_double(const char* name, double fallback);
 
 /// Parse an environment variable as int; `fallback` when unset/invalid.
 int env_int(const char* name, int fallback);
+
+/// Parse an environment variable as std::uint64_t (decimal or 0x-hex);
+/// `fallback` when unset/invalid. The randomized test harnesses read
+/// PAREMSP_TEST_SEED through this so any CI failure replays verbatim:
+///   PAREMSP_TEST_SEED=<seed from the failure message> ctest ...
+std::uint64_t env_uint64(const char* name, std::uint64_t fallback);
 
 /// Number of hardware threads OpenMP will use by default.
 int hardware_threads();

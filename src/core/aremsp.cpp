@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "analysis/feature_accumulator.hpp"
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
 #include "core/label_scratch.hpp"
@@ -22,6 +23,20 @@ LabelingResult AremspLabeler::label(const BinaryImage& image) const {
 
 LabelingResult AremspLabeler::label_into(const BinaryImage& image,
                                          LabelScratch& scratch) const {
+  return label_impl(image, scratch, nullptr);
+}
+
+LabelingWithStats AremspLabeler::label_with_stats_into(
+    const BinaryImage& image, LabelScratch& scratch) const {
+  LabelingWithStats out;
+  out.labeling = label_impl(image, scratch, &out.stats);
+  return out;
+}
+
+LabelingResult AremspLabeler::label_impl(const BinaryImage& image,
+                                         LabelScratch& scratch,
+                                         analysis::ComponentStats* stats)
+    const {
   const WallTimer total;
   LabelingResult result;
   result.labels =
@@ -29,17 +44,36 @@ LabelingResult AremspLabeler::label_into(const BinaryImage& image,
                             LabelScratch::PlaneInit::Dirty);
   if (image.size() == 0) return result;
 
-  std::span<Label> p =
-      scratch.parents(static_cast<std::size_t>(image.size()) + 1);
+  const std::size_t label_space = static_cast<std::size_t>(image.size()) + 1;
+  std::span<Label> p = scratch.parents(label_space);
 
+  // Phase I — with the feature sink fused in when stats are requested:
+  // every pixel is measured in the same visit that labels it.
   WallTimer phase;
   RemEquiv eq(p);
-  const Label count =
-      scan_two_line(image, result.labels, eq, 0, image.rows());
+  Label count = 0;
+  std::span<analysis::FeatureCell> cells;
+  if (stats != nullptr) {
+    cells = scratch.feature_cells(label_space);
+    analysis::FeatureAccumulator sink(cells);
+    count = scan_two_line(image, result.labels, eq, sink, 0, image.rows());
+  } else {
+    count = scan_two_line(image, result.labels, eq, 0, image.rows());
+  }
   result.timings.scan_ms = phase.elapsed_ms();
 
+  // FLATTEN — then reduce the per-provisional cells through the resolved
+  // parents: O(count) label-table work instead of an O(pixels) re-read.
   phase.reset();
   result.num_components = uf::rem_flatten(p.data(), count);
+  if (stats != nullptr) {
+    stats->components.assign(
+        static_cast<std::size_t>(result.num_components), {});
+    if (count > 0) {
+      analysis::fold_features(cells, p, 1, count, stats->components);
+      analysis::finalize_components(stats->components);
+    }
+  }
   result.timings.flatten_ms = phase.elapsed_ms();
 
   phase.reset();

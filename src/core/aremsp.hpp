@@ -22,6 +22,18 @@ class AremspLabeler final : public Labeler {
   [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
   [[nodiscard]] LabelingResult label_into(
       const BinaryImage& image, LabelScratch& scratch) const override;
+  /// Fused component analysis: features accumulate inside the two-line
+  /// scan and reduce through FLATTEN — no post-pass over the pixels.
+  [[nodiscard]] LabelingWithStats label_with_stats_into(
+      const BinaryImage& image, LabelScratch& scratch) const override;
+
+ private:
+  /// Shared body of label_into / label_with_stats_into (fused analysis
+  /// when `stats` is non-null).
+  [[nodiscard]] LabelingResult label_impl(const BinaryImage& image,
+                                          LabelScratch& scratch,
+                                          analysis::ComponentStats* stats)
+      const;
 };
 
 }  // namespace paremsp

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/feature_accumulator.hpp"
 #include "common/types.hpp"
 #include "image/raster.hpp"
 
@@ -44,6 +45,14 @@ class LabelScratch {
   /// grow-once contract as parents(). Growing preserves the existing
   /// elements (flood fill relies on this to extend a live queue).
   [[nodiscard]] std::span<Label> aux(std::size_t n) { return grown(aux_, n); }
+
+  /// Per-provisional-label feature cells for the fused label_with_stats
+  /// paths, indexed like parents(). Same grow-once contract; contents are
+  /// unspecified — FeatureAccumulator::fresh initializes each cell at its
+  /// new-label event, so no O(label-space) clear ever runs.
+  [[nodiscard]] std::span<analysis::FeatureCell> feature_cells(std::size_t n) {
+    return grown(feature_cells_, n);
+  }
 
   /// How acquire_plane prepares a recycled plane's contents.
   enum class PlaneInit {
@@ -113,12 +122,12 @@ class LabelScratch {
   // hoards memory (the engine keeps its own shared pool for recycling).
   static constexpr std::size_t kMaxPooledPlanes = 2;
 
-  [[nodiscard]] std::span<Label> grown(std::vector<Label>& buffer,
-                                       std::size_t n) {
+  template <class T>
+  [[nodiscard]] std::span<T> grown(std::vector<T>& buffer, std::size_t n) {
     if (buffer.size() < n) {
       const std::size_t before = buffer.capacity();
       buffer.resize(n);
-      reserved_bytes_.fetch_add((buffer.capacity() - before) * sizeof(Label),
+      reserved_bytes_.fetch_add((buffer.capacity() - before) * sizeof(T),
                                 std::memory_order_relaxed);
       grows_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -127,6 +136,7 @@ class LabelScratch {
 
   std::vector<Label> parents_;
   std::vector<Label> aux_;
+  std::vector<analysis::FeatureCell> feature_cells_;
   std::vector<LabelImage> planes_;
   std::atomic<std::uint64_t> grows_{0};
   std::atomic<std::uint64_t> plane_reuses_{0};

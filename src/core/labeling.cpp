@@ -1,0 +1,24 @@
+#include "core/labeling.hpp"
+
+#include "core/label_scratch.hpp"
+
+namespace paremsp {
+
+LabelingWithStats Labeler::label_with_stats(const BinaryImage& image) const {
+  LabelScratch scratch;
+  return label_with_stats_into(image, scratch);
+}
+
+LabelingWithStats Labeler::label_with_stats_into(const BinaryImage& image,
+                                                 LabelScratch& scratch) const {
+  // Generic fallback for algorithms without a fused scan: label, then
+  // measure in a separate pass. Correct for every Labeler; the fused
+  // overrides exist to eliminate exactly this second read of the plane.
+  LabelingWithStats out;
+  out.labeling = label_into(image, scratch);
+  out.stats = analysis::compute_stats(out.labeling.labels,
+                                      out.labeling.num_components);
+  return out;
+}
+
+}  // namespace paremsp

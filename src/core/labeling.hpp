@@ -11,6 +11,7 @@
 #include <memory>
 #include <string_view>
 
+#include "analysis/component_stats.hpp"
 #include "common/types.hpp"
 #include "image/connectivity.hpp"
 #include "image/raster.hpp"
@@ -42,6 +43,15 @@ struct LabelingResult {
   PhaseTimings timings;
 };
 
+/// Output of a combined labeling + component-analysis run. `stats` is
+/// value-identical to analysis::compute_stats(labeling.labels,
+/// labeling.num_components) regardless of how it was produced — fused
+/// during the scan or by the generic post-pass fallback.
+struct LabelingWithStats {
+  LabelingResult labeling;
+  analysis::ComponentStats stats;
+};
+
 /// Abstract connected-component labeler.
 class Labeler {
  public:
@@ -69,6 +79,23 @@ class Labeler {
     (void)scratch;
     return label(image);
   }
+
+  /// Label `image` AND measure every component (area, bbox, exact centroid
+  /// sums) in one call. Algorithms flagged AlgorithmInfo::fused_stats in
+  /// the registry accumulate the features during the labeling scan itself
+  /// (overriding label_with_stats_into) — no second pass over the pixels;
+  /// everything else falls back to label() + analysis::compute_stats. The
+  /// labeling is bit-identical to label(), and the stats are
+  /// value-identical to the post-pass either way (asserted across the
+  /// differential/exhaustive/metamorphic suites).
+  [[nodiscard]] LabelingWithStats label_with_stats(
+      const BinaryImage& image) const;
+
+  /// label_with_stats through a reusable LabelScratch (the engine's
+  /// allocation-free hot path; same contract as label_into vs label).
+  /// This is the single override point for fused implementations.
+  [[nodiscard]] virtual LabelingWithStats label_with_stats_into(
+      const BinaryImage& image, LabelScratch& scratch) const;
 };
 
 }  // namespace paremsp

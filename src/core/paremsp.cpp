@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/feature_accumulator.hpp"
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
 #include "core/label_scratch.hpp"
@@ -93,6 +94,24 @@ LabelingResult ParemspLabeler::label(const BinaryImage& image) const {
 
 LabelingResult ParemspLabeler::label_into(const BinaryImage& image,
                                           LabelScratch& scratch) const {
+  return label_impl(image, scratch, nullptr);
+}
+
+LabelingWithStats ParemspLabeler::label_with_stats_into(
+    const BinaryImage& image, LabelScratch& scratch) const {
+  if (config_.scan == ScanStrategy::OneLine) {
+    // The one-line ablation kernel has no feature hooks: generic fallback.
+    return Labeler::label_with_stats_into(image, scratch);
+  }
+  LabelingWithStats out;
+  out.labeling = label_impl(image, scratch, &out.stats);
+  return out;
+}
+
+LabelingResult ParemspLabeler::label_impl(const BinaryImage& image,
+                                          LabelScratch& scratch,
+                                          analysis::ComponentStats* stats)
+    const {
   const WallTimer total;
   LabelingResult result;
   result.labels =
@@ -109,8 +128,13 @@ LabelingResult ParemspLabeler::label_into(const BinaryImage& image,
       requested, 1, static_cast<int>(std::max<Coord>(rows / 2, 1)));
 
   std::vector<Chunk> chunks = make_chunks(rows, cols, nchunks);
-  std::span<Label> p =
-      scratch.parents(static_cast<std::size_t>(image.size()) + 1);
+  const std::size_t label_space = static_cast<std::size_t>(image.size()) + 1;
+  std::span<Label> p = scratch.parents(label_space);
+  // Fused-analysis cells, indexed by provisional label like `p`: chunk
+  // label ranges are disjoint, so the concurrent scans share the array
+  // without synchronization.
+  std::span<analysis::FeatureCell> cells;
+  if (stats != nullptr) cells = scratch.feature_cells(label_space);
   LabelImage& labels = result.labels;
 
   // --- Phase I: concurrent chunk-local scans --------------------------------
@@ -120,7 +144,10 @@ LabelingResult ParemspLabeler::label_into(const BinaryImage& image,
   for (int t = 0; t < nchunks; ++t) {
     auto& ch = chunks[static_cast<std::size_t>(t)];
     RemEquiv eq(p, ch.base);
-    if (two_line) {
+    if (stats != nullptr) {
+      analysis::FeatureAccumulator sink(cells);
+      scan_two_line(image, labels, eq, sink, ch.row_begin, ch.row_end);
+    } else if (two_line) {
       scan_two_line(image, labels, eq, ch.row_begin, ch.row_end);
     } else {
       scan_one_line_8(image, labels, eq, ch.row_begin, ch.row_end);
@@ -182,6 +209,18 @@ LabelingResult ParemspLabeler::label_into(const BinaryImage& image,
     }
   }
   result.num_components = k;
+  // Fused analysis: reduce each chunk's cells through the now-resolved
+  // parent table — the boundary merges of Phase II decided which cells
+  // land in the same component. O(labels), no pixel re-read.
+  if (stats != nullptr) {
+    stats->components.assign(static_cast<std::size_t>(k), {});
+    for (const auto& ch : chunks) {
+      if (ch.used == 0) continue;
+      analysis::fold_features(cells, p, ch.base + 1, ch.base + ch.used,
+                              stats->components);
+    }
+    analysis::finalize_components(stats->components);
+  }
   result.timings.flatten_ms = phase.elapsed_ms();
 
   // --- Final labeling pass --------------------------------------------------

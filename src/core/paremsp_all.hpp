@@ -9,6 +9,7 @@
 
 #include "analysis/component_stats.hpp"
 #include "analysis/contours.hpp"
+#include "analysis/feature_accumulator.hpp"
 #include "analysis/equivalence.hpp"
 #include "analysis/shape.hpp"
 #include "analysis/filtering.hpp"

@@ -32,6 +32,19 @@ LabelingResult TiledParemspLabeler::label(const BinaryImage& image) const {
 
 LabelingResult TiledParemspLabeler::label_into(const BinaryImage& image,
                                                LabelScratch& scratch) const {
+  return label_impl(image, scratch, nullptr);
+}
+
+LabelingWithStats TiledParemspLabeler::label_with_stats_into(
+    const BinaryImage& image, LabelScratch& scratch) const {
+  LabelingWithStats out;
+  out.labeling = label_impl(image, scratch, &out.stats);
+  return out;
+}
+
+LabelingResult TiledParemspLabeler::label_impl(
+    const BinaryImage& image, LabelScratch& scratch,
+    analysis::ComponentStats* stats) const {
   const WallTimer total;
   LabelingResult result;
   result.labels = scratch.acquire_plane(image.rows(), image.cols(),
@@ -44,8 +57,12 @@ LabelingResult TiledParemspLabeler::label_into(const BinaryImage& image,
   std::vector<TileSpec> tiles = make_tile_grid(
       image.rows(), image.cols(), config_.tile_rows, config_.tile_cols);
   const int ntiles = static_cast<int>(tiles.size());
-  std::span<Label> p =
-      scratch.parents(static_cast<std::size_t>(image.size()) + 1);
+  const std::size_t label_space = static_cast<std::size_t>(image.size()) + 1;
+  std::span<Label> p = scratch.parents(label_space);
+  // Fused-analysis cells: one shared array, disjoint per-tile label
+  // ranges, so the concurrent tile scans need no synchronization on it.
+  std::span<analysis::FeatureCell> cells;
+  if (stats != nullptr) cells = scratch.feature_cells(label_space);
   LabelImage& labels = result.labels;
 
   // --- Phase I: tile-local two-line scans ----------------------------------
@@ -53,7 +70,8 @@ LabelingResult TiledParemspLabeler::label_into(const BinaryImage& image,
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
   for (int t = 0; t < ntiles; ++t) {
     auto& tile = tiles[static_cast<std::size_t>(t)];
-    tile.used = scan_tile(image, labels, p, tile);
+    tile.used = stats != nullptr ? scan_tile(image, labels, p, tile, cells)
+                                 : scan_tile(image, labels, p, tile);
   }
   result.timings.scan_ms = phase.elapsed_ms();
 
@@ -98,6 +116,14 @@ LabelingResult TiledParemspLabeler::label_into(const BinaryImage& image,
   std::span<Label> remap =
       scratch.aux(static_cast<std::size_t>(total_used) + 1);
   result.num_components = resolve_final_labels(p, tiles, labels, remap);
+  // Fused analysis: the seam unions of Phase II are now baked into the
+  // resolved parent table, so reducing each tile's cells through it merges
+  // features exactly where labels were unified. O(labels issued).
+  if (stats != nullptr) {
+    stats->components.assign(static_cast<std::size_t>(result.num_components),
+                             {});
+    fold_tile_features(cells, p, tiles, stats->components);
+  }
   result.timings.flatten_ms = phase.elapsed_ms();
 
   // --- Final labeling pass --------------------------------------------------

@@ -51,12 +51,25 @@ class TiledParemspLabeler final : public Labeler {
   [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
   [[nodiscard]] LabelingResult label_into(
       const BinaryImage& image, LabelScratch& scratch) const override;
+  /// Fused component analysis: tile scans accumulate features into
+  /// disjoint cell ranges, the seam merges decide which cells belong
+  /// together, and the resolve phase reduces them — no pixel re-read for
+  /// any tile geometry.
+  [[nodiscard]] LabelingWithStats label_with_stats_into(
+      const BinaryImage& image, LabelScratch& scratch) const override;
 
   [[nodiscard]] const TiledParemspConfig& config() const noexcept {
     return config_;
   }
 
  private:
+  /// Shared body of label_into / label_with_stats_into (fused analysis
+  /// when `stats` is non-null).
+  [[nodiscard]] LabelingResult label_impl(const BinaryImage& image,
+                                          LabelScratch& scratch,
+                                          analysis::ComponentStats* stats)
+      const;
+
   TiledParemspConfig config_;
   std::unique_ptr<uf::LockPool> locks_;
 };

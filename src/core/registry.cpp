@@ -39,12 +39,12 @@ constexpr std::array<AlgorithmInfo, 10> kCatalog{{
      true},
     {Algorithm::Aremsp, "aremsp",
      "paper: two-line scan + REM splicing union-find", false, false, true,
-     true},
+     true, true},
     {Algorithm::Paremsp, "paremsp",
      "paper: parallel AREMSP (OpenMP, boundary merge)", true, false, true,
-     true},
+     true, true},
     {Algorithm::ParemspTiled, "paremsp2d",
-     "extension: 2-D tiled PAREMSP", true, false, false, true},
+     "extension: 2-D tiled PAREMSP", true, false, false, true, true},
 }};
 
 }  // namespace

@@ -28,15 +28,30 @@
 
 namespace paremsp {
 
+/// No-op feature sink: the default accumulation policy. Stateless empty
+/// inline calls, so the plain labeling instantiations compile to exactly
+/// the pre-fusion kernel. The fused-stats paths pass
+/// analysis::FeatureAccumulator instead (analysis/feature_accumulator.hpp).
+struct NoFeatureSink {
+  void fresh(Label) noexcept {}
+  void add(Label, Coord, Coord) noexcept {}
+};
+
 /// Scan Phase of AREMSP/ARUN (paper Algorithm 6) over the rectangle
 /// rows [row_begin, row_end) x cols [col_begin, col_end); pixels outside
 /// the rectangle count as background (row chunking for PAREMSP, full 2-D
 /// tiling for the tiled extension). Returns the number of provisional
 /// labels issued through `eq` (eq.used()).
-template <class Equiv>
+///
+/// `sink` observes the labeling as it happens — sink.fresh(l) at every
+/// new-label event, then sink.add(l, r, c) once per labeled pixel — which
+/// is what fuses component analysis into the scan: features accumulate
+/// while the pixel is already in registers, instead of a second full read
+/// of the label plane afterwards.
+template <class Equiv, class FeatureSink>
 Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
-                    Coord row_begin, Coord row_end, Coord col_begin,
-                    Coord col_end) {
+                    FeatureSink& sink, Coord row_begin, Coord row_end,
+                    Coord col_begin, Coord col_end) {
   for (Coord r = row_begin; r < row_end; r += 2) {
     const bool has_down = r + 1 < row_end;   // odd trailing row has no g/f
     const bool has_up = r > row_begin;       // chunk top: above is masked
@@ -68,6 +83,7 @@ Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
             labels(r, c) = labels(r - 1, c + 1);
           } else {
             labels(r, c) = eq.new_label();
+            sink.fresh(labels(r, c));
           }
         } else {
           // d foreground: e continues d's run; only the c-diagonal can
@@ -93,9 +109,12 @@ Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
           labels(r + 1, c) = labels(r + 1, c - 1);
         } else {
           labels(r + 1, c) = eq.new_label();
+          sink.fresh(labels(r + 1, c));
         }
       }
 
+      if (fg_e) sink.add(labels(r, c), r, c);
+      if (fg_g) sink.add(labels(r + 1, c), r + 1, c);  // fg_g implies has_down
       if (!fg_e) labels(r, c) = 0;
       if (has_down && !fg_g) labels(r + 1, c) = 0;
     }
@@ -103,11 +122,29 @@ Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
   return eq.used();
 }
 
+/// Rectangle overload without feature accumulation (plain labeling).
+template <class Equiv>
+Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
+                    Coord row_begin, Coord row_end, Coord col_begin,
+                    Coord col_end) {
+  NoFeatureSink sink;
+  return scan_two_line(image, labels, eq, sink, row_begin, row_end, col_begin,
+                       col_end);
+}
+
 /// Row-range overload covering all columns (PAREMSP row chunks, AREMSP).
 template <class Equiv>
 Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
                     Coord row_begin, Coord row_end) {
   return scan_two_line(image, labels, eq, row_begin, row_end, 0,
+                       image.cols());
+}
+
+/// Row-range overload with feature accumulation (fused AREMSP/PAREMSP).
+template <class Equiv, class FeatureSink>
+Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
+                    FeatureSink& sink, Coord row_begin, Coord row_end) {
+  return scan_two_line(image, labels, eq, sink, row_begin, row_end, 0,
                        image.cols());
 }
 

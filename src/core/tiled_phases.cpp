@@ -36,6 +36,15 @@ Label scan_tile(const BinaryImage& image, LabelImage& labels,
                        tile.col_begin, tile.col_end);
 }
 
+Label scan_tile(const BinaryImage& image, LabelImage& labels,
+                std::span<Label> parents, const TileSpec& tile,
+                std::span<analysis::FeatureCell> cells) {
+  RemEquiv eq(parents, tile.base);
+  analysis::FeatureAccumulator sink(cells);
+  return scan_two_line(image, labels, eq, sink, tile.row_begin, tile.row_end,
+                       tile.col_begin, tile.col_end);
+}
+
 Label resolve_final_labels(std::span<Label> parents,
                            std::span<const TileSpec> tiles,
                            const LabelImage& labels, std::span<Label> remap) {
@@ -102,6 +111,18 @@ Label resolve_final_labels(std::span<Label> parents,
     for (Label i = lo; i <= hi; ++i) parents[i] = remap[parents[i]];
   }
   return k;
+}
+
+void fold_tile_features(std::span<const analysis::FeatureCell> cells,
+                        std::span<const Label> parents,
+                        std::span<const TileSpec> tiles,
+                        std::span<analysis::ComponentInfo> components) {
+  for (const TileSpec& tile : tiles) {
+    if (tile.used == 0) continue;
+    analysis::fold_features(cells, parents, tile.base + 1,
+                            tile.base + tile.used, components);
+  }
+  analysis::finalize_components(components);
 }
 
 }  // namespace paremsp

@@ -40,6 +40,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/feature_accumulator.hpp"
 #include "common/types.hpp"
 #include "image/raster.hpp"
 
@@ -81,6 +82,17 @@ struct TileSpec {
 /// scan writes only its own label range and its own pixel rectangle.
 [[nodiscard]] Label scan_tile(const BinaryImage& image, LabelImage& labels,
                               std::span<Label> parents, const TileSpec& tile);
+
+/// Fused-analysis variant of scan_tile: identical labeling, but every
+/// labeled pixel is additionally folded into `cells` (indexed by
+/// provisional label) while it is still hot — the basis of
+/// label_with_stats, which never re-reads the pixels. A tile scan touches
+/// only cells in its own label range (tile.base, tile.base + used], so
+/// concurrent tiles share one cell array race-free, exactly like they
+/// share `parents`.
+[[nodiscard]] Label scan_tile(const BinaryImage& image, LabelImage& labels,
+                              std::span<Label> parents, const TileSpec& tile,
+                              std::span<analysis::FeatureCell> cells);
 
 /// Phase II for one tile: feed every 8-adjacency crossing the tile's top
 /// and left seams to `unite(Label, Label)`. Each seam pixel generates at
@@ -158,5 +170,19 @@ void merge_tile_seams(const LabelImage& labels, const TileSpec& tile,
                                          std::span<const TileSpec> tiles,
                                          const LabelImage& labels,
                                          std::span<Label> remap);
+
+/// Fused-analysis epilogue of resolve_final_labels: reduce every tile's
+/// per-provisional-label feature cells into per-component records through
+/// the resolved parent array (parents[l] is final after
+/// resolve_final_labels), then derive centroids. This is where the seam
+/// unions take effect on the features — a union recorded by
+/// merge_tile_seams makes two provisional labels resolve to one final
+/// label, so their cells land in (and commutatively merge into) the same
+/// component here. O(total used labels): no pixel is ever revisited.
+/// `components` must be default-initialized and sized num_components.
+void fold_tile_features(std::span<const analysis::FeatureCell> cells,
+                        std::span<const Label> parents,
+                        std::span<const TileSpec> tiles,
+                        std::span<analysis::ComponentInfo> components);
 
 }  // namespace paremsp

@@ -64,12 +64,39 @@ std::future<LabelingResult> LabelingEngine::submit_view(
 
 std::future<LabelingResult> LabelingEngine::enqueue(Job job) {
   std::future<LabelingResult> future = job.promise.get_future();
+  push_job(std::move(job));
+  return future;
+}
+
+std::future<LabelingWithStats> LabelingEngine::submit_with_stats(
+    BinaryImage image) {
+  Job job;
+  job.owned = std::move(image);
+  job.submitted_at = EngineStats::Clock::now();
+  return enqueue_with_stats(std::move(job));
+}
+
+std::future<LabelingWithStats> LabelingEngine::submit_view_with_stats(
+    const BinaryImage& image) {
+  Job job;
+  job.borrowed = &image;
+  job.submitted_at = EngineStats::Clock::now();
+  return enqueue_with_stats(std::move(job));
+}
+
+std::future<LabelingWithStats> LabelingEngine::enqueue_with_stats(Job job) {
+  std::future<LabelingWithStats> future =
+      job.stats_promise.emplace().get_future();
+  push_job(std::move(job));
+  return future;
+}
+
+void LabelingEngine::push_job(Job job) {
   stats_.record_submission(job.submitted_at);
   if (!queue_.push(std::move(job))) {
     stats_.record_submission_aborted();
     throw PreconditionError("LabelingEngine::submit after shutdown");
   }
-  return future;
 }
 
 bool LabelingEngine::enqueue_task(std::function<void(ScratchArena&)> task,
@@ -113,6 +140,36 @@ void LabelingEngine::return_shard_buffer(ShardBuffer buffer) {
   // would hoard image-sized allocations.
   if (shard_buffers_.size() < 4) {
     shard_buffers_.push_back(std::move(buffer));
+  }
+}
+
+LabelingEngine::ShardCellBuffer LabelingEngine::take_shard_cells(
+    std::size_t n) {
+  ShardCellBuffer buffer;
+  {
+    std::lock_guard lock(shard_buffers_mutex_);
+    if (!shard_cell_buffers_.empty()) {
+      buffer = std::move(shard_cell_buffers_.back());
+      shard_cell_buffers_.pop_back();
+    }
+  }
+  if (buffer.capacity < n) {
+    // No value-initialization: FeatureAccumulator::fresh resets exactly
+    // the cells that get used (see ShardBuffer for the rationale).
+    buffer.data =
+        std::make_unique_for_overwrite<analysis::FeatureCell[]>(n);
+    buffer.capacity = n;
+  }
+  return buffer;
+}
+
+void LabelingEngine::return_shard_cells(ShardCellBuffer buffer) {
+  if (buffer.data == nullptr) return;
+  std::lock_guard lock(shard_buffers_mutex_);
+  // One cell buffer per stats-carrying run; cells are 10x a label plane,
+  // so park at most two runs' worth.
+  if (shard_cell_buffers_.size() < 2) {
+    shard_cell_buffers_.push_back(std::move(buffer));
   }
 }
 
@@ -190,9 +247,15 @@ void LabelingEngine::worker_main(ScratchArena& arena) {
     maybe_adopt_recycled(arena);
     const std::int64_t pixels = job->image().size();
     LabelingResult result;
+    LabelingWithStats with_stats;
     std::exception_ptr error;
     try {
-      result = labeler->label_into(job->image(), arena.scratch());
+      if (job->stats_promise.has_value()) {
+        with_stats = labeler->label_with_stats_into(job->image(),
+                                                    arena.scratch());
+      } else {
+        result = labeler->label_into(job->image(), arena.scratch());
+      }
     } catch (...) {
       error = std::current_exception();
     }
@@ -206,7 +269,13 @@ void LabelingEngine::worker_main(ScratchArena& arena) {
             .count();
     stats_.record_completion(latency_ms, failed ? 0 : pixels, failed);
     arena.note_job(failed ? 0 : pixels);
-    if (failed) {
+    if (job->stats_promise.has_value()) {
+      if (failed) {
+        job->stats_promise->set_exception(std::move(error));
+      } else {
+        job->stats_promise->set_value(std::move(with_stats));
+      }
+    } else if (failed) {
       job->promise.set_exception(std::move(error));
     } else {
       job->promise.set_value(std::move(result));

@@ -28,9 +28,11 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "analysis/feature_accumulator.hpp"
 #include "core/labeling.hpp"
 #include "core/registry.hpp"
 #include "engine/engine_stats.hpp"
@@ -79,6 +81,20 @@ class LabelingEngine {
   [[nodiscard]] std::future<LabelingResult> submit_view(
       const BinaryImage& image);
 
+  /// Enqueue one image for combined labeling + component analysis
+  /// (Labeler::label_with_stats through the worker's warm arena). For
+  /// fused-stats algorithms (AlgorithmInfo::fused_stats) the features
+  /// accumulate inside the labeling scan — the worker never re-reads the
+  /// label plane; everything else runs the post-pass fallback with
+  /// value-identical results. Same queueing/backpressure contract as
+  /// submit().
+  [[nodiscard]] std::future<LabelingWithStats> submit_with_stats(
+      BinaryImage image);
+
+  /// Zero-copy submit_with_stats (same borrow contract as submit_view).
+  [[nodiscard]] std::future<LabelingWithStats> submit_view_with_stats(
+      const BinaryImage& image);
+
   /// Enqueue a batch; futures are index-aligned with `images`.
   [[nodiscard]] std::vector<std::future<LabelingResult>> submit_batch(
       std::vector<BinaryImage> images);
@@ -99,6 +115,19 @@ class LabelingEngine {
   /// Synchronous submit_sharded: blocks until the shard pipeline drains.
   [[nodiscard]] LabelingResult label_sharded(const BinaryImage& image,
                                              const ShardOptions& options = {});
+
+  /// Sharded labeling + fused component analysis: the tile scan jobs
+  /// accumulate features into disjoint per-tile cell ranges, the seam-merge
+  /// jobs decide (through the shared union-find, under the same completion
+  /// latches) which cells belong together, and the resolve job reduces
+  /// them — stats for a huge image without any worker re-reading pixels.
+  /// Same borrow/quiesce/failure contract as submit_sharded.
+  [[nodiscard]] std::future<LabelingWithStats> submit_sharded_with_stats(
+      const BinaryImage& image, const ShardOptions& options = {});
+
+  /// Synchronous submit_sharded_with_stats.
+  [[nodiscard]] LabelingWithStats label_sharded_with_stats(
+      const BinaryImage& image, const ShardOptions& options = {});
 
   /// Hand a result's label plane back for reuse. Optional: skipping it
   /// only costs the workers one plane allocation per request.
@@ -125,10 +154,16 @@ class LabelingEngine {
     BinaryImage owned;  // the image, unless borrowed
     const BinaryImage* borrowed = nullptr;  // caller-kept (submit_view)
     std::promise<LabelingResult> promise;
+    // submit_with_stats jobs fulfill this promise instead of `promise`;
+    // its presence IS the with-stats discriminant (no separate flag to
+    // desync). Lazily emplaced by enqueue_with_stats only: a promise's
+    // shared state is a heap allocation, and the vast majority of jobs
+    // (plain submits, every sharded phase task) never use this one.
+    std::optional<std::promise<LabelingWithStats>> stats_promise;
     EngineStats::Clock::time_point submitted_at{};
     // Generic engine task (sharded phase jobs): when set, the worker runs
     // it with its arena instead of the labeling path. Tasks own their
-    // error handling; the promise above is unused.
+    // error handling; the promises above are unused.
     std::function<void(ScratchArena&)> task;
 
     // Jobs move through the queue, so the owned image must be reached
@@ -139,6 +174,10 @@ class LabelingEngine {
   };
 
   [[nodiscard]] std::future<LabelingResult> enqueue(Job job);
+  [[nodiscard]] std::future<LabelingWithStats> enqueue_with_stats(Job job);
+  /// Shared submission protocol of the enqueue variants: record, push,
+  /// undo the record and throw if the queue is already closed.
+  void push_job(Job job);
   /// Enqueue a generic task. Bounded (backpressured) pushes are for
   /// producer threads; workers spawning continuations must pass
   /// bounded = false (see JobQueue::push_unbounded). Returns false once
@@ -163,6 +202,16 @@ class LabelingEngine {
   [[nodiscard]] ShardBuffer take_shard_buffer(std::size_t n);
   /// Hand a buffer back for the next sharded run. No-op on empty buffers.
   void return_shard_buffer(ShardBuffer buffer);
+
+  /// Pooled per-provisional-label feature cells for stats-carrying sharded
+  /// runs. Same unspecified-contents contract as ShardBuffer: cells are
+  /// initialized lazily at new-label events, so no O(label-space) clear.
+  struct ShardCellBuffer {
+    std::unique_ptr<analysis::FeatureCell[]> data;
+    std::size_t capacity = 0;
+  };
+  [[nodiscard]] ShardCellBuffer take_shard_cells(std::size_t n);
+  void return_shard_cells(ShardCellBuffer buffer);
   void worker_main(ScratchArena& arena);
   void maybe_adopt_recycled(ScratchArena& arena);
 
@@ -185,6 +234,7 @@ class LabelingEngine {
   // Parent/remap buffers parked between sharded runs (see ShardBuffer).
   std::mutex shard_buffers_mutex_;
   std::vector<ShardBuffer> shard_buffers_;
+  std::vector<ShardCellBuffer> shard_cell_buffers_;
 
   std::vector<std::unique_ptr<ScratchArena>> arenas_;
   std::vector<std::thread> threads_;

@@ -45,19 +45,32 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   /// submitting thread, where backpressure belongs). Returns the future.
   std::future<LabelingResult> start() {
     std::future<LabelingResult> future = promise_.get_future();
+    launch();
+    return future;
+  }
 
+  /// start() for the stats-carrying pipeline: identical dataflow, but the
+  /// scan jobs also accumulate per-tile feature cells, the resolve job
+  /// reduces them, and the future yields LabelingWithStats.
+  std::future<LabelingWithStats> start_with_stats() {
+    with_stats_ = true;
+    std::future<LabelingWithStats> future = stats_promise_.get_future();
+    launch();
+    return future;
+  }
+
+ private:
+  void launch() {
     result_.labels = engine_.take_recycled_plane();
     result_.labels.resize_for_overwrite(image_.rows(), image_.cols());
     if (image_.size() == 0) {
-      // Count before fulfilling: a caller returning from future.get() must
-      // already observe the completion in stats().
-      engine_.shards_completed_.fetch_add(1, std::memory_order_relaxed);
-      promise_.set_value(std::move(result_));
-      return future;
+      fulfill_success();
+      return;
     }
 
     parents_size_ = static_cast<std::size_t>(image_.size()) + 1;
     parents_ = engine_.take_shard_buffer(parents_size_);
+    if (with_stats_) cells_ = engine_.take_shard_cells(parents_size_);
     tiles_ = make_tile_grid(image_.rows(), image_.cols(), options_.tile_rows,
                             options_.tile_cols);
 
@@ -69,17 +82,21 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
           self->run_scan(t);
         },
         /*bounded=*/true);
-    return future;
   }
 
- private:
   // --- Phase I: tile-local AREMSP scans -------------------------------------
   void run_scan(std::size_t t) {
     if (!failed_.load(std::memory_order_acquire)) {
       try {
         auto& tile = tiles_[t];
-        tile.used = scan_tile(image_, result_.labels,
-                              {parents_.data.get(), parents_size_}, tile);
+        const std::span<Label> parents{parents_.data.get(), parents_size_};
+        // The fused variant writes feature cells only in this tile's label
+        // range, so concurrent scan jobs share cells_ race-free.
+        tile.used =
+            with_stats_
+                ? scan_tile(image_, result_.labels, parents, tile,
+                            {cells_.data.get(), parents_size_})
+                : scan_tile(image_, result_.labels, parents, tile);
       } catch (...) {
         fail(std::current_exception());
       }
@@ -156,6 +173,17 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
         result_.num_components = resolve_final_labels(
             {parents_.data.get(), parents_size_}, tiles_, result_.labels,
             {remap_.data.get(), remap_size});
+        if (with_stats_) {
+          // The seam-merge jobs' unions are resolved in the parent table
+          // now, so this fold merges accumulators exactly where labels
+          // were unified. O(labels issued) — the label plane itself is
+          // only touched again by the rewrite fan-out below.
+          stats_.components.assign(
+              static_cast<std::size_t>(result_.num_components), {});
+          fold_tile_features({cells_.data.get(), parents_size_},
+                             {parents_.data.get(), parents_size_}, tiles_,
+                             stats_.components);
+        }
       } catch (...) {
         fail(std::current_exception());
       }
@@ -213,14 +241,29 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     // or on the submitting thread).
     engine_.return_shard_buffer(std::move(parents_));
     engine_.return_shard_buffer(std::move(remap_));
+    engine_.return_shard_cells(std::move(cells_));
     if (failed_.load(std::memory_order_acquire)) {
-      promise_.set_exception(error_);
+      if (with_stats_) {
+        stats_promise_.set_exception(error_);
+      } else {
+        promise_.set_exception(error_);
+      }
       return;
     }
-    // Count before fulfilling: a caller returning from future.get() must
-    // already observe the completion in stats().
+    fulfill_success();
+  }
+
+  /// Fulfill whichever promise this run carries. Count before fulfilling:
+  /// a caller returning from future.get() must already observe the
+  /// completion in stats().
+  void fulfill_success() {
     engine_.shards_completed_.fetch_add(1, std::memory_order_relaxed);
-    promise_.set_value(std::move(result_));
+    if (with_stats_) {
+      stats_promise_.set_value(
+          LabelingWithStats{std::move(result_), std::move(stats_)});
+    } else {
+      promise_.set_value(std::move(result_));
+    }
   }
 
   // --- Fan-out / fan-in machinery -------------------------------------------
@@ -307,13 +350,17 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   std::unique_ptr<uf::LockPool> locks_;
 
   LabelingResult result_;
+  analysis::ComponentStats stats_;       // fused features (with_stats_)
   LabelingEngine::ShardBuffer parents_;  // global union-find parents
   std::size_t parents_size_ = 0;         // image.size() + 1
   LabelingEngine::ShardBuffer remap_;    // renumber table (Phase III)
+  LabelingEngine::ShardCellBuffer cells_;  // feature cells (with_stats_)
   std::vector<TileSpec> tiles_;
   std::size_t rewrite_bands_ = 1;
+  bool with_stats_ = false;
 
   std::promise<LabelingResult> promise_;
+  std::promise<LabelingWithStats> stats_promise_;
   std::atomic<std::int64_t> remaining_{0};
   std::atomic<bool> error_claimed_{false};
   std::atomic<bool> failed_{false};
@@ -321,12 +368,20 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   WallTimer timer_;
 };
 
-std::future<LabelingResult> LabelingEngine::submit_sharded(
-    const BinaryImage& image, const ShardOptions& options) {
+namespace {
+
+void require_valid(const ShardOptions& options) {
   PAREMSP_REQUIRE(options.tile_rows >= 1 && options.tile_cols >= 1,
                   "shard tiles must be at least 1x1");
   PAREMSP_REQUIRE(options.lock_bits >= 0 && options.lock_bits <= 24,
                   "lock_bits out of range");
+}
+
+}  // namespace
+
+std::future<LabelingResult> LabelingEngine::submit_sharded(
+    const BinaryImage& image, const ShardOptions& options) {
+  require_valid(options);
   shards_submitted_.fetch_add(1, std::memory_order_relaxed);
   return std::make_shared<ShardedRun>(*this, image, options)->start();
 }
@@ -334,6 +389,19 @@ std::future<LabelingResult> LabelingEngine::submit_sharded(
 LabelingResult LabelingEngine::label_sharded(const BinaryImage& image,
                                              const ShardOptions& options) {
   return submit_sharded(image, options).get();
+}
+
+std::future<LabelingWithStats> LabelingEngine::submit_sharded_with_stats(
+    const BinaryImage& image, const ShardOptions& options) {
+  require_valid(options);
+  shards_submitted_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<ShardedRun>(*this, image, options)
+      ->start_with_stats();
+}
+
+LabelingWithStats LabelingEngine::label_sharded_with_stats(
+    const BinaryImage& image, const ShardOptions& options) {
+  return submit_sharded_with_stats(image, options).get();
 }
 
 }  // namespace paremsp::engine

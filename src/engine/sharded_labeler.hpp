@@ -27,6 +27,16 @@
 // worker count — the canonical scan-order first-appearance renumber inside
 // resolve_final_labels restores the sequential numbering that 2-D label
 // bases permute (DESIGN.md §5).
+//
+// The stats-carrying variant (submit_sharded_with_stats /
+// label_sharded_with_stats) runs the SAME dataflow with fused component
+// analysis threaded through it (DESIGN.md §6): scan jobs accumulate
+// per-provisional-label feature cells into disjoint ranges of one shared
+// array, the seam-merge jobs unify components through the union-find
+// without touching cells, and the resolve job folds the cells through the
+// resolved parents — per-component area/bbox/centroid for a huge image
+// with no extra pass over its pixels, value-identical to the post-pass
+// compute_stats oracle.
 #pragma once
 
 #include "core/paremsp.hpp"  // MergeBackend

@@ -2,14 +2,31 @@
 // plus helpers used across the suite.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "analysis/component_stats.hpp"
 #include "image/ascii.hpp"
 #include "image/raster.hpp"
 
 namespace paremsp::testing {
+
+/// Exact equality of two component-stats sets: integers compared
+/// directly, and the centroid doubles are sum/area on both sides, so they
+/// must match bit-for-bit too. The single comparison contract for every
+/// fused-vs-post-pass crosscheck in the suite.
+inline void expect_stats_identical(const analysis::ComponentStats& got,
+                                   const analysis::ComponentStats& want,
+                                   const std::string& context) {
+  ASSERT_EQ(got.components.size(), want.components.size()) << context;
+  for (std::size_t i = 0; i < got.components.size(); ++i) {
+    EXPECT_EQ(got.components[i], want.components[i])
+        << context << " component " << i + 1;
+  }
+}
 
 /// A fixture image with its known 8-connectivity and 4-connectivity
 /// component counts (hand-verified).

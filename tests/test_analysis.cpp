@@ -6,6 +6,7 @@
 
 #include "analysis/component_stats.hpp"
 #include "analysis/equivalence.hpp"
+#include "analysis/feature_accumulator.hpp"
 #include "analysis/validation.hpp"
 #include "baselines/flood_fill.hpp"
 #include "image/ascii.hpp"
@@ -19,6 +20,90 @@ LabelingResult labeled(const BinaryImage& img) {
 }
 
 // --- Component stats -----------------------------------------------------------
+
+TEST(ComponentStats, CarriesExactCentroidSums) {
+  const BinaryImage img = binary_from_ascii(
+      R"(
+.#.
+###)");
+  const auto res = labeled(img);
+  ASSERT_EQ(res.num_components, 1);
+  const ComponentStats stats = compute_stats(res.labels, res.num_components);
+  const ComponentInfo& c = stats.components[0];
+  EXPECT_EQ(c.area, 4);
+  EXPECT_EQ(c.row_sum, 0 + 1 + 1 + 1);
+  EXPECT_EQ(c.col_sum, 1 + 0 + 1 + 2);
+  // Centroids must be derived from the sums, bit for bit.
+  EXPECT_EQ(c.centroid_row, static_cast<double>(c.row_sum) / 4.0);
+  EXPECT_EQ(c.centroid_col, static_cast<double>(c.col_sum) / 4.0);
+}
+
+// --- FeatureCell algebra -----------------------------------------------------
+
+TEST(FeatureCell, AccumulatesAndMergesCommutatively) {
+  FeatureCell a;
+  a.add_pixel(2, 3);
+  a.add_pixel(2, 4);
+  FeatureCell b;
+  b.add_pixel(5, 1);
+
+  FeatureCell ab = a;
+  ab.merge(b);
+  FeatureCell ba = b;
+  ba.merge(a);
+  for (const FeatureCell& m : {ab, ba}) {
+    EXPECT_EQ(m.area, 3);
+    EXPECT_EQ(m.row_min, 2);
+    EXPECT_EQ(m.row_max, 5);
+    EXPECT_EQ(m.col_min, 1);
+    EXPECT_EQ(m.col_max, 4);
+    EXPECT_EQ(m.row_sum, 9);
+    EXPECT_EQ(m.col_sum, 8);
+  }
+
+  // The empty cell is the identity on both sides.
+  FeatureCell empty;
+  FeatureCell left = a;
+  left.merge(empty);
+  EXPECT_EQ(left.area, a.area);
+  EXPECT_EQ(left.row_sum, a.row_sum);
+  FeatureCell right = empty;
+  right.merge(a);
+  EXPECT_EQ(right.area, a.area);
+  EXPECT_EQ(right.col_max, a.col_max);
+}
+
+TEST(FeatureCell, FoldAndFinalizeMatchComputeStats) {
+  // Three provisional labels resolving to two components: 1,3 -> 1; 2 -> 2.
+  std::vector<FeatureCell> cells(4);
+  FeatureAccumulator acc(cells);
+  acc.fresh(1);
+  acc.add(1, 0, 0);
+  acc.add(1, 0, 1);
+  acc.fresh(2);
+  acc.add(2, 4, 4);
+  acc.fresh(3);
+  acc.add(3, 1, 1);
+  const std::vector<Label> final_of = {0, 1, 2, 1};
+
+  std::vector<ComponentInfo> components(2);
+  fold_features(cells, final_of, 1, 3, components);
+  finalize_components(components);
+
+  EXPECT_EQ(components[0].label, 1);
+  EXPECT_EQ(components[0].area, 3);
+  EXPECT_EQ(components[0].bbox, (BoundingBox{0, 0, 1, 1}));
+  EXPECT_EQ(components[0].row_sum, 1);
+  EXPECT_EQ(components[0].col_sum, 2);
+  EXPECT_DOUBLE_EQ(components[0].centroid_row, 1.0 / 3.0);
+  EXPECT_EQ(components[1].area, 1);
+  EXPECT_EQ(components[1].bbox, (BoundingBox{4, 4, 4, 4}));
+}
+
+TEST(FeatureCell, FinalizeRejectsEmptyComponent) {
+  std::vector<ComponentInfo> components(1);  // claims a pixel-less component
+  EXPECT_THROW(finalize_components(components), PreconditionError);
+}
 
 TEST(ComponentStats, MeasuresAreasBoxesCentroids) {
   const BinaryImage img = binary_from_ascii(

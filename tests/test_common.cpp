@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -259,6 +260,20 @@ TEST(Env, ReadsAndParses) {
   EXPECT_EQ(env_int("PAREMSP_TEST_BAD", -1), -1);
   EXPECT_EQ(env_int("PAREMSP_TEST_UNSET_XYZ", 7), 7);
   EXPECT_FALSE(env_string("PAREMSP_TEST_UNSET_XYZ").has_value());
+
+  // env_uint64 backs PAREMSP_TEST_SEED replay: decimal and 0x-hex, full
+  // 64-bit range, fallback on garbage/unset.
+  ::setenv("PAREMSP_TEST_U64", "18446744073709551615", 1);  // 2^64 - 1
+  EXPECT_EQ(env_uint64("PAREMSP_TEST_U64", 0),
+            std::numeric_limits<std::uint64_t>::max());
+  ::setenv("PAREMSP_TEST_U64", "0x5eed", 1);
+  EXPECT_EQ(env_uint64("PAREMSP_TEST_U64", 0), 0x5eedULL);
+  ::setenv("PAREMSP_TEST_U64", "-5", 1);  // must not wrap to 2^64 - 5
+  EXPECT_EQ(env_uint64("PAREMSP_TEST_U64", 3), 3u);
+  ::setenv("PAREMSP_TEST_U64", "0123", 1);  // decimal, NOT octal 83
+  EXPECT_EQ(env_uint64("PAREMSP_TEST_U64", 0), 123u);
+  EXPECT_EQ(env_uint64("PAREMSP_TEST_BAD", 9), 9u);
+  EXPECT_EQ(env_uint64("PAREMSP_TEST_UNSET_XYZ", 11), 11u);
 }
 
 TEST(Env, BannerMentionsThreads) {

@@ -8,6 +8,15 @@
 // Every assertion carries the PRNG seed and an ASCII dump of the offending
 // image, so any failure is replayable as a one-liner:
 //   gen::uniform_noise(rows, cols, density, seed)
+// and the randomized sweeps derive their seeds from PAREMSP_TEST_SEED
+// (common/env.hpp), so a CI failure replays verbatim:
+//   PAREMSP_TEST_SEED=<seed> ./paremsp_tests --gtest_filter='Differential.*'
+//
+// Besides raw labels, every algorithm's label_with_stats output is
+// cross-checked against the post-pass compute_stats oracle on the same
+// plane: the fused accumulate-during-scan paths must be value-identical
+// (exact integers and the centroids derived from them) on every cell of
+// the matrix.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -15,15 +24,26 @@
 #include <string>
 #include <vector>
 
+#include "analysis/component_stats.hpp"
 #include "analysis/equivalence.hpp"
 #include "analysis/validation.hpp"
 #include "common/contracts.hpp"
+#include "common/env.hpp"
+#include "core/paremsp_tiled.hpp"
 #include "core/registry.hpp"
+#include "fixtures.hpp"
 #include "image/ascii.hpp"
 #include "image/generators.hpp"
 
 namespace paremsp {
 namespace {
+
+using testing::expect_stats_identical;
+
+/// Base seed for the randomized sweeps, overridable for verbatim replay.
+std::uint64_t test_seed(std::uint64_t fallback) {
+  return env_uint64("PAREMSP_TEST_SEED", fallback);
+}
 
 /// Replay header for a failing case: the exact generator call + the image.
 std::string dump_case(const BinaryImage& image, std::uint64_t seed,
@@ -59,7 +79,8 @@ void diff_against_oracle(const AlgorithmInfo& info, const BinaryImage& image,
 
   const auto oracle =
       make_labeler(Algorithm::FloodFill, options)->label(image);
-  LabelingResult got = make_labeler(info.id, options)->label(image);
+  const auto labeler = make_labeler(info.id, options);
+  LabelingResult got = labeler->label(image);
   EXPECT_EQ(got.num_components, oracle.num_components)
       << info.name << " " << why;
 
@@ -72,6 +93,19 @@ void diff_against_oracle(const AlgorithmInfo& info, const BinaryImage& image,
   const auto v = analysis::validate_labeling(image, got.labels,
                                              got.num_components, connectivity);
   EXPECT_TRUE(v.ok) << info.name << " " << why << "\n" << v.error;
+
+  // Fused stats: label_with_stats must label bit-identically to label()
+  // and measure value-identically to the post-pass oracle on that plane.
+  const LabelingWithStats ws = labeler->label_with_stats(image);
+  EXPECT_EQ(ws.labeling.num_components, got.num_components)
+      << info.name << " " << why;
+  EXPECT_EQ(ws.labeling.labels, got.labels)
+      << info.name << " label_with_stats diverged from label() " << why;
+  expect_stats_identical(
+      ws.stats,
+      analysis::compute_stats(ws.labeling.labels,
+                              ws.labeling.num_components),
+      std::string(info.name) + " " + why);
 }
 
 /// One full sweep cell: every algorithm x both connectivities on `image`.
@@ -91,7 +125,7 @@ TEST(Differential, DensitySweepAcrossShapes) {
       {1, 1}, {1, 31}, {29, 1}, {2, 2}, {5, 5}, {9, 17}, {16, 16}, {13, 40},
   };
   const double densities[] = {0.05, 0.15, 0.35, 0.5, 0.65, 0.85, 0.95};
-  std::uint64_t seed = 0x5eed;
+  std::uint64_t seed = test_seed(0x5eed);
   for (const auto& [rows, cols] : shapes) {
     for (const double density : densities) {
       ++seed;
@@ -124,10 +158,49 @@ TEST(Differential, StructuredAdversarialPatterns) {
 TEST(Differential, RandomizedManySeeds) {
   // Volume sweep at moderate size: many independent seeds at mixed
   // densities. Failures name the exact seed for replay.
-  for (std::uint64_t seed = 1000; seed < 1030; ++seed) {
+  const std::uint64_t base = test_seed(1000);
+  for (std::uint64_t seed = base; seed < base + 30; ++seed) {
     const double density =
         0.05 + 0.9 * static_cast<double>(seed % 10) / 9.0;
     diff_all(gen::uniform_noise(20, 24, density, seed), seed, density);
+  }
+}
+
+TEST(Differential, FusedStatsAcrossDegenerateTileGeometries) {
+  // The fused tiled path must stay value-identical to the post-pass
+  // oracle for EVERY grid, including 1-pixel tiles where every pixel is
+  // its own scan and all adjacencies flow through seam merges — the
+  // worst case for accumulator folding.
+  const std::vector<std::pair<Coord, Coord>> geometries = {
+      {1, 1}, {1, 3}, {3, 1}, {2, 2}, {5, 4}, {4, 16}, {16, 4},
+  };
+  const std::uint64_t base = test_seed(0x71e5);
+  const AlgorithmInfo& info = algorithm_info(Algorithm::ParemspTiled);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const std::uint64_t seed = base + i;
+    const double density = 0.15 + 0.7 * static_cast<double>(i) / 5.0;
+    const BinaryImage image = gen::uniform_noise(13, 19, density, seed);
+    const std::string why = dump_case(image, seed, density,
+                                      Connectivity::Eight);
+    const auto reference =
+        make_labeler(Algorithm::Aremsp)->label_with_stats(image);
+    for (const auto& [tr, tc] : geometries) {
+      const TiledParemspLabeler tiled(
+          TiledParemspConfig{.tile_rows = tr, .tile_cols = tc});
+      const LabelingWithStats ws = tiled.label_with_stats(image);
+      // Tiled output is bit-identical to AREMSP, so the stats must match
+      // the reference's component for component, not only as a multiset.
+      const std::string context = std::string(info.name) + " tiles " +
+                                  std::to_string(tr) + "x" +
+                                  std::to_string(tc) + " " + why;
+      EXPECT_EQ(ws.labeling.labels, reference.labeling.labels) << context;
+      expect_stats_identical(ws.stats, reference.stats, context);
+      expect_stats_identical(
+          ws.stats,
+          analysis::compute_stats(ws.labeling.labels,
+                                  ws.labeling.num_components),
+          context);
+    }
   }
 }
 

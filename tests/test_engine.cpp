@@ -14,6 +14,7 @@
 #include "core/paremsp_all.hpp"
 #include "engine/engine.hpp"
 #include "engine/job_queue.hpp"
+#include "fixtures.hpp"
 #include "image/generators.hpp"
 
 namespace paremsp {
@@ -201,6 +202,59 @@ TEST(LabelingEngine, BatchMatchesDirectCallsBitForBit) {
       EXPECT_TRUE(validation.ok) << validation.error;
     }
   }
+}
+
+TEST(LabelingEngine, SubmitWithStatsMatchesDirectFusedAndFallbackPaths) {
+  // Aremsp/Paremsp fuse the stats into the scan; FloodFill exercises the
+  // generic post-pass fallback through the same engine path. Both must be
+  // value-identical to compute_stats on the (bit-identical) labeling.
+  for (const Algorithm algorithm :
+       {Algorithm::Aremsp, Algorithm::Paremsp, Algorithm::FloodFill}) {
+    SCOPED_TRACE(std::string(algorithm_info(algorithm).name));
+    const auto direct = make_labeler(algorithm);
+
+    std::vector<BinaryImage> images;
+    for (int i = 0; i < 8; ++i) {
+      images.push_back(stream_image(1, i, 24 + 8 * (i % 3), 40 + 8 * (i % 4)));
+    }
+    images.push_back(BinaryImage());  // empty image rides along
+
+    LabelingEngine eng({.workers = 3, .algorithm = algorithm});
+    std::vector<std::future<LabelingWithStats>> futures;
+    for (const BinaryImage& image : images) {
+      futures.push_back(eng.submit_view_with_stats(image));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const LabelingWithStats got = futures[i].get();
+      const LabelingResult want = direct->label(images[i]);
+      expect_same_result(got.labeling, want, "image " + std::to_string(i));
+      const auto oracle = analysis::compute_stats(
+          got.labeling.labels, got.labeling.num_components);
+      testing::expect_stats_identical(got.stats, oracle,
+                                      "image " + std::to_string(i));
+    }
+    const auto stats = eng.stats();
+    EXPECT_EQ(stats.jobs_completed, images.size());
+  }
+}
+
+TEST(LabelingEngine, WithStatsKeepsArenasAllocationFree) {
+  // The fused cells buffer lives in the worker's LabelScratch like every
+  // other workspace: once warm, repeated stats jobs must not grow it.
+  LabelingEngine eng({.workers = 1, .algorithm = Algorithm::Aremsp});
+  const BinaryImage image = gen::texture_like(64, 64, 5);
+  for (int i = 0; i < 3; ++i) {  // warm every buffer incl. the cells
+    auto r = eng.submit_with_stats(image).get();
+    eng.recycle(std::move(r.labeling.labels));
+  }
+  const auto warm = eng.stats();
+  for (int i = 0; i < 5; ++i) {
+    auto r = eng.submit_with_stats(image).get();
+    eng.recycle(std::move(r.labeling.labels));
+  }
+  const auto after = eng.stats();
+  EXPECT_EQ(after.scratch_grow_count, warm.scratch_grow_count)
+      << "stats jobs allocated on a warm arena";
 }
 
 TEST(LabelingEngine, ConcurrentProducersGetDeterministicResults) {

@@ -3,12 +3,20 @@
 // 4x4 = 65536 images catches every local mask configuration, including all
 // decision-tree branches and two-line-scan cases; the rectangular shapes
 // catch row/column boundary handling.
+//
+// The fused-stats algorithms additionally run label_with_stats on every
+// image, cross-checked against the post-pass compute_stats oracle — an
+// exhaustive proof that the accumulate-during-scan hooks fire on every
+// branch of the two-line mask (including forced multi-chunk PAREMSP and
+// degenerate 1-pixel tiled grids, where all merging happens at seams).
 #include <gtest/gtest.h>
 
 #include <string>
 
+#include "analysis/component_stats.hpp"
 #include "analysis/equivalence.hpp"
 #include "core/paremsp_all.hpp"
+#include "fixtures.hpp"
 
 namespace paremsp {
 namespace {
@@ -50,6 +58,18 @@ TEST_P(ExhaustiveShape, AllAlgorithmsMatchOracleOnEveryImage) {
   labelers.push_back(std::make_unique<ParemspLabeler>(ParemspConfig{2}));
   labelers.push_back(std::make_unique<ParemspLabeler>(ParemspConfig{3}));
 
+  // Fused-stats configurations: exhaustively cross-checked against the
+  // post-pass oracle. Degenerate tile grids route every adjacency through
+  // seam merges, so the accumulator fold sees maximal fragmentation.
+  std::vector<std::unique_ptr<Labeler>> fused;
+  fused.push_back(std::make_unique<AremspLabeler>());
+  fused.push_back(std::make_unique<ParemspLabeler>(ParemspConfig{2}));
+  fused.push_back(std::make_unique<ParemspLabeler>(ParemspConfig{3}));
+  fused.push_back(std::make_unique<TiledParemspLabeler>(
+      TiledParemspConfig{.tile_rows = 1, .tile_cols = 1}));
+  fused.push_back(std::make_unique<TiledParemspLabeler>(
+      TiledParemspConfig{.tile_rows = 2, .tile_cols = 3}));
+
   const std::uint64_t total = 1ULL << nbits;
   for (std::uint64_t bits = 0; bits < total; bits += stride) {
     const BinaryImage img =
@@ -62,6 +82,27 @@ TEST_P(ExhaustiveShape, AllAlgorithmsMatchOracleOnEveryImage) {
         FAIL() << labeler->name() << " wrong on " << rows << "x" << cols
                << " bits=" << bits << "\n"
                << to_ascii(img);
+      }
+    }
+    for (const auto& labeler : fused) {
+      const LabelingWithStats ws = labeler->label_with_stats(img);
+      if (ws.labeling.num_components != expected.num_components ||
+          !analysis::equivalent_labelings(ws.labeling.labels,
+                                          expected.labels)) {
+        FAIL() << labeler->name() << " label_with_stats mislabeled "
+               << rows << "x" << cols << " bits=" << bits << "\n"
+               << to_ascii(img);
+      }
+      const auto oracle_stats = analysis::compute_stats(
+          ws.labeling.labels, ws.labeling.num_components);
+      // Cheap pre-check keeps the 65536-image hot loop free of failure
+      // message construction; the shared helper reports on mismatch.
+      if (ws.stats.components != oracle_stats.components) {
+        testing::expect_stats_identical(
+            ws.stats, oracle_stats,
+            std::string(labeler->name()) + " " + std::to_string(rows) + "x" +
+                std::to_string(cols) + " bits=" + std::to_string(bits) +
+                "\n" + to_ascii(img));
       }
     }
   }
