@@ -3,8 +3,10 @@
 // the production workload the engine exists for (millions of small
 // requests), scaled down to a runnable example.
 //
-// Each producer simulates one client: it submits bursts of requests with
-// image sizes drawn from a small/medium/large mix, consumes its results
+// Each producer simulates one client speaking the unified request API: it
+// submits bursts of LabelRequests over zero-copy views of images it keeps
+// alive for the burst (the request borrow contract), asks for fused
+// per-component stats on a sample of them, consumes its LabelResponses
 // (checking the component count against a sequential reference), and
 // recycles the label planes back to the engine. The main thread prints a
 // live stats line (throughput, p50/p99 latency, arena state) while the
@@ -29,7 +31,7 @@ using namespace paremsp;
 
 /// A client request image: sizes cycle through a small/medium/large mix
 /// and content through the synthetic dataset families.
-BinaryImage make_request(int producer, int index) {
+BinaryImage make_request_image(int producer, int index) {
   static constexpr Coord kSides[] = {64, 96, 128, 192, 256, 384};
   const Coord side = kSides[(producer + index) % std::size(kSides)];
   const std::uint64_t seed = 7919ULL * static_cast<std::uint64_t>(producer) +
@@ -40,6 +42,13 @@ BinaryImage make_request(int producer, int index) {
     default: return gen::texture_like(side, side, seed);
   }
 }
+
+/// One in-flight request: the borrowed image must outlive the future.
+struct Pending {
+  int index = 0;
+  BinaryImage image;  // request.input views this (heap-stable under moves)
+  std::future<LabelResponse> future;
+};
 
 }  // namespace
 
@@ -71,24 +80,38 @@ int main(int argc, char** argv) {
   for (int p = 0; p < producers; ++p) {
     clients.emplace_back([&, p] {
       const auto reference = make_labeler(config.algorithm);
-      // In-flight window per client: submit a burst, then drain it.
+      // In-flight window per client: submit a burst, then drain it. The
+      // burst vector owns the images the requests borrow.
       constexpr int kBurst = 16;
-      std::vector<std::pair<int, std::future<LabelingResult>>> burst;
+      std::vector<Pending> burst;
+      burst.reserve(kBurst);
       int next = 0;
       while (next < requests || !burst.empty()) {
         while (next < requests && static_cast<int>(burst.size()) < kBurst) {
-          burst.emplace_back(next, eng.submit(make_request(p, next)));
+          Pending pending;
+          pending.index = next;
+          pending.image = make_request_image(p, next);
+          LabelRequest request;
+          request.input = pending.image;  // zero-copy borrow
+          // Sample fused stats on one request per burst: same job, the
+          // features accumulate inside the labeling scan.
+          request.outputs.stats = (next % kBurst == 0);
+          pending.future = eng.submit(std::move(request));
+          burst.push_back(std::move(pending));
           ++next;
         }
-        for (auto& [index, future] : burst) {
-          LabelingResult result = future.get();
+        for (Pending& pending : burst) {
+          LabelResponse response = pending.future.get();
           // Spot-check one request per burst against a direct labeling.
-          if (index % kBurst == 0 &&
-              reference->label(make_request(p, index)).num_components !=
-                  result.num_components) {
-            wrong_counts.fetch_add(1);
+          if (pending.index % kBurst == 0) {
+            const auto want = reference->label_with_stats(pending.image);
+            if (want.labeling.num_components != response.num_components ||
+                !response.stats.has_value() ||
+                response.stats->components != want.stats.components) {
+              wrong_counts.fetch_add(1);
+            }
           }
-          eng.recycle(std::move(result.labels));
+          eng.recycle(std::move(response.labels));
         }
         burst.clear();
       }

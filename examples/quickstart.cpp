@@ -1,5 +1,6 @@
 // Quickstart: generate a small image, label it with the paper's parallel
-// algorithm (PAREMSP), and print the result.
+// algorithm (PAREMSP) through the unified request API, and print the
+// result.
 //
 //   $ ./quickstart
 //   $ ./quickstart --rows 16 --cols 40 --density 0.4 --seed 7 --threads 4
@@ -25,24 +26,29 @@ int main(int argc, char** argv) {
                          cli.get_double("density"),
                          static_cast<std::uint64_t>(cli.get_int("seed")));
 
-  // 2. Label its 8-connected components.
+  // 2. Build one request: the input is a zero-copy view (a whole raster
+  //    here; an ROI subview or a pointer+pitch window of your own buffer
+  //    works the same), and the outputs are selected up front — stats are
+  //    measured inside the labeling scan itself, no second pass.
   const auto labeler = make_labeler(
       Algorithm::Paremsp, LabelerOptions{.threads = cli.get_int("threads")});
-  const LabelingResult result = labeler->label(image);
+  LabelRequest request;
+  request.input = image;
+  request.outputs.stats = true;
+  const LabelResponse response = labeler->run(request);
 
-  // 3. Use the labels.
+  // 3. Use the labels and the fused per-component stats.
   std::cout << "input (" << image.rows() << "x" << image.cols() << "):\n"
             << to_ascii(image) << '\n'
-            << "components: " << result.num_components << '\n'
-            << to_ascii(result.labels) << '\n';
+            << "components: " << response.num_components << '\n'
+            << to_ascii(response.labels) << '\n';
 
-  const auto stats =
-      analysis::compute_stats(result.labels, result.num_components);
+  const analysis::ComponentStats& stats = *response.stats;
   std::cout << "largest component: " << stats.largest_area() << " px, mean "
             << stats.mean_area() << " px\n"
-            << "phases [ms]: scan=" << result.timings.scan_ms
-            << " merge=" << result.timings.merge_ms
-            << " flatten=" << result.timings.flatten_ms
-            << " relabel=" << result.timings.relabel_ms << '\n';
+            << "phases [ms]: scan=" << response.timings.scan_ms
+            << " merge=" << response.timings.merge_ms
+            << " flatten=" << response.timings.flatten_ms
+            << " relabel=" << response.timings.relabel_ms << '\n';
   return 0;
 }

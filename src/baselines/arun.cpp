@@ -1,17 +1,18 @@
 #include "baselines/arun.hpp"
 
+#include "analysis/component_stats.hpp"
 #include "common/timer.hpp"
-#include "core/registry.hpp"
 #include "core/scan_two_line.hpp"
 #include "unionfind/rtable.hpp"
 
 namespace paremsp {
 
-ArunLabeler::ArunLabeler(Connectivity connectivity) {
-  require_supported(Algorithm::Arun, connectivity);
-}
-
-LabelingResult ArunLabeler::label(const BinaryImage& image) const {
+LabelingResult ArunLabeler::run_impl(ConstImageView image,
+                                     Connectivity connectivity,
+                                     LabelScratch& scratch,
+                                     analysis::ComponentStats* stats) const {
+  (void)connectivity;  // 8-only; run() rejected anything else
+  (void)scratch;       // rtable baseline: per-call equivalence table
   const WallTimer total;
   LabelingResult result;
   result.labels = LabelImage(image.rows(), image.cols());
@@ -38,6 +39,9 @@ LabelingResult ArunLabeler::label(const BinaryImage& image) const {
   }
   result.timings.relabel_ms = phase.elapsed_ms();
   result.timings.total_ms = total.elapsed_ms();
+  if (stats != nullptr) {
+    *stats = analysis::compute_stats(result.labels, result.num_components);
+  }
   return result;
 }
 

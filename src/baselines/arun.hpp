@@ -13,12 +13,19 @@ namespace paremsp {
 
 class ArunLabeler final : public Labeler {
  public:
-  explicit ArunLabeler(Connectivity connectivity = Connectivity::Eight);
+  explicit ArunLabeler(Connectivity connectivity = Connectivity::Eight)
+      : Labeler(Algorithm::Arun, connectivity) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "arun";
   }
-  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
+
+ protected:
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
 };
 
 }  // namespace paremsp

@@ -9,13 +9,11 @@
 
 namespace paremsp {
 
-LabelingResult CcllrpcLabeler::label(const BinaryImage& image) const {
-  LabelScratch scratch;
-  return label_into(image, scratch);
-}
-
-LabelingResult CcllrpcLabeler::label_into(const BinaryImage& image,
-                                          LabelScratch& scratch) const {
+LabelingResult CcllrpcLabeler::run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+    const {
   const WallTimer total;
   LabelingResult result;
   result.labels =
@@ -28,7 +26,7 @@ LabelingResult CcllrpcLabeler::label_into(const BinaryImage& image,
 
   WallTimer phase;
   WuEquiv eq(p);
-  const Label count = scan_one_line(image, result.labels, eq, connectivity_);
+  const Label count = scan_one_line(image, result.labels, eq, connectivity);
   result.timings.scan_ms = phase.elapsed_ms();
 
   // Wu's union-find also keeps p[i] <= i, so Algorithm 3's FLATTEN applies
@@ -44,6 +42,9 @@ LabelingResult CcllrpcLabeler::label_into(const BinaryImage& image,
   }
   result.timings.relabel_ms = phase.elapsed_ms();
   result.timings.total_ms = total.elapsed_ms();
+  if (stats != nullptr) {
+    *stats = analysis::compute_stats(result.labels, result.num_components);
+  }
   return result;
 }
 

@@ -14,17 +14,18 @@ namespace paremsp {
 class CcllrpcLabeler final : public Labeler {
  public:
   explicit CcllrpcLabeler(Connectivity connectivity = Connectivity::Eight)
-      : connectivity_(connectivity) {}
+      : Labeler(Algorithm::Ccllrpc, connectivity) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "ccllrpc";
   }
-  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
-  [[nodiscard]] LabelingResult label_into(
-      const BinaryImage& image, LabelScratch& scratch) const override;
 
- private:
-  Connectivity connectivity_;
+ protected:
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
 };
 
 }  // namespace paremsp

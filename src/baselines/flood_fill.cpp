@@ -2,19 +2,18 @@
 
 #include <span>
 
+#include "analysis/component_stats.hpp"
 #include "common/timer.hpp"
 #include "core/label_scratch.hpp"
 #include "image/connectivity.hpp"
 
 namespace paremsp {
 
-LabelingResult FloodFillLabeler::label(const BinaryImage& image) const {
-  LabelScratch scratch;
-  return label_into(image, scratch);
-}
-
-LabelingResult FloodFillLabeler::label_into(const BinaryImage& image,
-                                            LabelScratch& scratch) const {
+LabelingResult FloodFillLabeler::run_impl(ConstImageView image,
+                                          Connectivity connectivity,
+                                          LabelScratch& scratch,
+                                          analysis::ComponentStats* stats)
+    const {
   const WallTimer total;
   LabelingResult result;
   result.labels = scratch.acquire_plane(image.rows(), image.cols());
@@ -23,7 +22,7 @@ LabelingResult FloodFillLabeler::label_into(const BinaryImage& image,
   const Coord rows = image.rows();
   const Coord cols = image.cols();
   LabelImage& labels = result.labels;
-  const auto offsets = neighbors(connectivity_);
+  const auto offsets = neighbors(connectivity);
 
   // BFS queue of flat pixel indices, reset per component so its capacity
   // tracks the largest component (like the old std::vector queue did),
@@ -68,6 +67,9 @@ LabelingResult FloodFillLabeler::label_into(const BinaryImage& image,
   result.num_components = next_label;
   result.timings.scan_ms = total.elapsed_ms();
   result.timings.total_ms = result.timings.scan_ms;
+  if (stats != nullptr) {
+    *stats = analysis::compute_stats(result.labels, result.num_components);
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <vector>
 
+#include "analysis/component_stats.hpp"
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
 
@@ -25,11 +26,14 @@ inline void store(Label* p, std::int64_t i, Label v) noexcept {
 
 ParallelSuzukiLabeler::ParallelSuzukiLabeler(Connectivity connectivity,
                                              int threads)
-    : connectivity_(connectivity), threads_(threads) {
+    : Labeler(Algorithm::SuzukiParallel, connectivity), threads_(threads) {
   PAREMSP_REQUIRE(threads >= 0, "threads must be >= 0");
 }
 
-LabelingResult ParallelSuzukiLabeler::label(const BinaryImage& image) const {
+LabelingResult ParallelSuzukiLabeler::run_impl(
+    ConstImageView image, Connectivity connectivity, LabelScratch& scratch,
+    analysis::ComponentStats* stats) const {
+  (void)scratch;  // propagation baseline: per-call remap tables
   const WallTimer total;
   LabelingResult result;
   result.labels = LabelImage(image.rows(), image.cols());
@@ -38,7 +42,7 @@ LabelingResult ParallelSuzukiLabeler::label(const BinaryImage& image) const {
 
   const Coord rows = image.rows();
   const Coord cols = image.cols();
-  const bool eight = connectivity_ == Connectivity::Eight;
+  const bool eight = connectivity == Connectivity::Eight;
   const int requested = threads_ > 0 ? threads_ : omp_get_max_threads();
   const int nchunks =
       std::clamp<int>(requested, 1, static_cast<int>(std::max<Coord>(rows, 1)));
@@ -138,6 +142,9 @@ LabelingResult ParallelSuzukiLabeler::label(const BinaryImage& image) const {
   }
   result.timings.relabel_ms = phase.elapsed_ms();
   result.timings.total_ms = total.elapsed_ms();
+  if (stats != nullptr) {
+    *stats = analysis::compute_stats(result.labels, result.num_components);
+  }
   return result;
 }
 

@@ -27,15 +27,20 @@ class ParallelSuzukiLabeler final : public Labeler {
     return "psuzuki";
   }
   [[nodiscard]] bool is_parallel() const noexcept override { return true; }
-  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
 
-  /// Global iterations the most recent label() call needed (>= 1).
+  /// Global iterations the most recent labeling needed (>= 1).
   [[nodiscard]] int last_iteration_count() const noexcept {
     return last_iterations_;
   }
 
+ protected:
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
+
  private:
-  Connectivity connectivity_;
   int threads_;
   mutable int last_iterations_ = 0;
 };

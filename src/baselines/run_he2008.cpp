@@ -2,9 +2,9 @@
 
 #include <vector>
 
+#include "analysis/component_stats.hpp"
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
-#include "core/registry.hpp"
 #include "unionfind/rtable.hpp"
 
 namespace paremsp {
@@ -20,11 +20,12 @@ struct Run {
 
 }  // namespace
 
-RunLabeler::RunLabeler(Connectivity connectivity) {
-  require_supported(Algorithm::Run, connectivity);
-}
-
-LabelingResult RunLabeler::label(const BinaryImage& image) const {
+LabelingResult RunLabeler::run_impl(ConstImageView image,
+                                    Connectivity connectivity,
+                                    LabelScratch& scratch,
+                                    analysis::ComponentStats* stats) const {
+  (void)connectivity;  // 8-only; run() rejected anything else
+  (void)scratch;       // run-based baseline: per-call run lists
   const WallTimer total;
   LabelingResult result;
   result.labels = LabelImage(image.rows(), image.cols());
@@ -97,6 +98,9 @@ LabelingResult RunLabeler::label(const BinaryImage& image) const {
   }
   result.timings.relabel_ms = phase.elapsed_ms();
   result.timings.total_ms = total.elapsed_ms();
+  if (stats != nullptr) {
+    *stats = analysis::compute_stats(result.labels, result.num_components);
+  }
   return result;
 }
 

@@ -15,12 +15,19 @@ namespace paremsp {
 
 class RunLabeler final : public Labeler {
  public:
-  explicit RunLabeler(Connectivity connectivity = Connectivity::Eight);
+  explicit RunLabeler(Connectivity connectivity = Connectivity::Eight)
+      : Labeler(Algorithm::Run, connectivity) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "run";
   }
-  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
+
+ protected:
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
 };
 
 }  // namespace paremsp

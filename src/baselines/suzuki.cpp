@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/component_stats.hpp"
 #include "common/timer.hpp"
 #include "image/connectivity.hpp"
 
@@ -20,7 +21,12 @@ constexpr Offset kBackward4[] = {{1, 0}, {0, 1}};
 
 }  // namespace
 
-LabelingResult SuzukiLabeler::label(const BinaryImage& image) const {
+LabelingResult SuzukiLabeler::run_impl(ConstImageView image,
+                                       Connectivity connectivity,
+                                       LabelScratch& scratch,
+                                       analysis::ComponentStats* stats)
+    const {
+  (void)scratch;  // multi-pass baseline: keeps its per-call table
   const WallTimer total;
   LabelingResult result;
   result.labels = LabelImage(image.rows(), image.cols());
@@ -30,7 +36,7 @@ LabelingResult SuzukiLabeler::label(const BinaryImage& image) const {
   const Coord rows = image.rows();
   const Coord cols = image.cols();
   LabelImage& labels = result.labels;
-  const bool eight = connectivity_ == Connectivity::Eight;
+  const bool eight = connectivity == Connectivity::Eight;
 
   // Suzuki's label connection table: T[l] is a smaller label known to be
   // equivalent to l (T[l] <= l, T[root] == root). Every update writes the
@@ -156,6 +162,9 @@ LabelingResult SuzukiLabeler::label(const BinaryImage& image) const {
   }
   result.timings.relabel_ms = phase.elapsed_ms();
   result.timings.total_ms = total.elapsed_ms();
+  if (stats != nullptr) {
+    *stats = analysis::compute_stats(result.labels, result.num_components);
+  }
   return result;
 }
 

@@ -16,20 +16,25 @@ namespace paremsp {
 class SuzukiLabeler final : public Labeler {
  public:
   explicit SuzukiLabeler(Connectivity connectivity = Connectivity::Eight)
-      : connectivity_(connectivity) {}
+      : Labeler(Algorithm::Suzuki, connectivity) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "suzuki";
   }
-  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
 
-  /// Number of image scans the most recent label() call needed (>= 2).
+  /// Number of image scans the most recent labeling needed (>= 2).
   [[nodiscard]] int last_scan_count() const noexcept {
     return last_scan_count_;
   }
 
+ protected:
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
+
  private:
-  Connectivity connectivity_;
   mutable int last_scan_count_ = 0;
 };
 

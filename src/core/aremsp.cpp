@@ -6,37 +6,16 @@
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
 #include "core/label_scratch.hpp"
-#include "core/registry.hpp"
 #include "core/scan_two_line.hpp"
 #include "unionfind/rem.hpp"
 
 namespace paremsp {
 
-AremspLabeler::AremspLabeler(Connectivity connectivity) {
-  require_supported(Algorithm::Aremsp, connectivity);
-}
-
-LabelingResult AremspLabeler::label(const BinaryImage& image) const {
-  LabelScratch scratch;
-  return label_into(image, scratch);
-}
-
-LabelingResult AremspLabeler::label_into(const BinaryImage& image,
-                                         LabelScratch& scratch) const {
-  return label_impl(image, scratch, nullptr);
-}
-
-LabelingWithStats AremspLabeler::label_with_stats_into(
-    const BinaryImage& image, LabelScratch& scratch) const {
-  LabelingWithStats out;
-  out.labeling = label_impl(image, scratch, &out.stats);
-  return out;
-}
-
-LabelingResult AremspLabeler::label_impl(const BinaryImage& image,
-                                         LabelScratch& scratch,
-                                         analysis::ComponentStats* stats)
-    const {
+LabelingResult AremspLabeler::run_impl(ConstImageView image,
+                                       Connectivity connectivity,
+                                       LabelScratch& scratch,
+                                       analysis::ComponentStats* stats) const {
+  (void)connectivity;  // 8-only; run() rejected anything else
   const WallTimer total;
   LabelingResult result;
   result.labels =

@@ -11,29 +11,25 @@
 namespace paremsp {
 
 /// AREMSP labeler. 8-connectivity only (the two-line mask is inherently
-/// 8-connected); constructing is cheap, label() does all the work.
+/// 8-connected); constructing is cheap, run() does all the work.
 class AremspLabeler final : public Labeler {
  public:
-  explicit AremspLabeler(Connectivity connectivity = Connectivity::Eight);
+  explicit AremspLabeler(Connectivity connectivity = Connectivity::Eight)
+      : Labeler(Algorithm::Aremsp, connectivity) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "aremsp";
   }
-  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
-  [[nodiscard]] LabelingResult label_into(
-      const BinaryImage& image, LabelScratch& scratch) const override;
-  /// Fused component analysis: features accumulate inside the two-line
-  /// scan and reduce through FLATTEN — no post-pass over the pixels.
-  [[nodiscard]] LabelingWithStats label_with_stats_into(
-      const BinaryImage& image, LabelScratch& scratch) const override;
 
- private:
-  /// Shared body of label_into / label_with_stats_into (fused analysis
-  /// when `stats` is non-null).
-  [[nodiscard]] LabelingResult label_impl(const BinaryImage& image,
-                                          LabelScratch& scratch,
-                                          analysis::ComponentStats* stats)
-      const;
+ protected:
+  /// Fused component analysis when `stats` is requested: features
+  /// accumulate inside the two-line scan and reduce through FLATTEN — no
+  /// post-pass over the pixels.
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
 };
 
 }  // namespace paremsp

@@ -9,13 +9,11 @@
 
 namespace paremsp {
 
-LabelingResult CclremspLabeler::label(const BinaryImage& image) const {
-  LabelScratch scratch;
-  return label_into(image, scratch);
-}
-
-LabelingResult CclremspLabeler::label_into(const BinaryImage& image,
-                                           LabelScratch& scratch) const {
+LabelingResult CclremspLabeler::run_impl(ConstImageView image,
+                                         Connectivity connectivity,
+                                         LabelScratch& scratch,
+                                         analysis::ComponentStats* stats)
+    const {
   const WallTimer total;
   LabelingResult result;
   result.labels =
@@ -30,7 +28,7 @@ LabelingResult CclremspLabeler::label_into(const BinaryImage& image,
 
   WallTimer phase;
   RemEquiv eq(p);
-  const Label count = scan_one_line(image, result.labels, eq, connectivity_);
+  const Label count = scan_one_line(image, result.labels, eq, connectivity);
   result.timings.scan_ms = phase.elapsed_ms();
 
   phase.reset();
@@ -43,6 +41,9 @@ LabelingResult CclremspLabeler::label_into(const BinaryImage& image,
   }
   result.timings.relabel_ms = phase.elapsed_ms();
   result.timings.total_ms = total.elapsed_ms();
+  if (stats != nullptr) {
+    *stats = analysis::compute_stats(result.labels, result.num_components);
+  }
   return result;
 }
 

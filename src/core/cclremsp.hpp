@@ -10,21 +10,22 @@
 namespace paremsp {
 
 /// CCLREMSP labeler. Supports 8-connectivity (paper) and 4-connectivity
-/// (extension).
+/// (extension) — per request or as the construction default.
 class CclremspLabeler final : public Labeler {
  public:
   explicit CclremspLabeler(Connectivity connectivity = Connectivity::Eight)
-      : connectivity_(connectivity) {}
+      : Labeler(Algorithm::Cclremsp, connectivity) {}
 
   [[nodiscard]] std::string_view name() const noexcept override {
     return "cclremsp";
   }
-  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
-  [[nodiscard]] LabelingResult label_into(
-      const BinaryImage& image, LabelScratch& scratch) const override;
 
- private:
-  Connectivity connectivity_;
+ protected:
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
 };
 
 }  // namespace paremsp

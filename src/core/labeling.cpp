@@ -1,8 +1,31 @@
+// Labeler base: identity/validation plus the legacy wrappers, each of
+// which builds a LabelRequest and delegates to run() (core/request.cpp).
 #include "core/labeling.hpp"
 
+#include <utility>
+
 #include "core/label_scratch.hpp"
+#include "core/registry.hpp"
+#include "core/request.hpp"
 
 namespace paremsp {
+
+Labeler::Labeler(Algorithm algorithm, Connectivity connectivity)
+    : algorithm_(algorithm), default_connectivity_(connectivity) {
+  require_supported(algorithm, connectivity);
+}
+
+LabelingResult Labeler::label(const BinaryImage& image) const {
+  LabelScratch scratch;
+  return label_into(image, scratch);
+}
+
+LabelingResult Labeler::label_into(const BinaryImage& image,
+                                   LabelScratch& scratch) const {
+  LabelRequest request;
+  request.input = image;
+  return to_labeling_result(run(request, scratch));
+}
 
 LabelingWithStats Labeler::label_with_stats(const BinaryImage& image) const {
   LabelScratch scratch;
@@ -11,14 +34,10 @@ LabelingWithStats Labeler::label_with_stats(const BinaryImage& image) const {
 
 LabelingWithStats Labeler::label_with_stats_into(const BinaryImage& image,
                                                  LabelScratch& scratch) const {
-  // Generic fallback for algorithms without a fused scan: label, then
-  // measure in a separate pass. Correct for every Labeler; the fused
-  // overrides exist to eliminate exactly this second read of the plane.
-  LabelingWithStats out;
-  out.labeling = label_into(image, scratch);
-  out.stats = analysis::compute_stats(out.labeling.labels,
-                                      out.labeling.num_components);
-  return out;
+  LabelRequest request;
+  request.input = image;
+  request.outputs.stats = true;
+  return to_labeling_with_stats(run(request, scratch));
 }
 
 }  // namespace paremsp

@@ -1,11 +1,19 @@
 // Public labeling interface.
 //
 // Every CCL algorithm in the library (the paper's CCLREMSP / AREMSP /
-// PAREMSP and all baselines) implements Labeler, returning a LabelingResult
-// with consecutive final labels 1..num_components (0 = background) and
-// per-phase wall-clock timings. The timings expose exactly the split the
-// paper's Figure 5 plots: Phase-I local scan vs boundary merge vs the
-// analysis (flatten) and final labeling passes.
+// PAREMSP and all baselines) implements Labeler. The single execution
+// entry point is Labeler::run(LabelRequest) — a parameterized request over
+// a zero-copy ConstImageView (core/request.hpp) — which returns a
+// LabelResponse with consecutive final labels 1..num_components
+// (0 = background), optional fused component stats, and per-phase
+// wall-clock timings (exactly the split the paper's Figure 5 plots:
+// Phase-I local scan vs boundary merge vs FLATTEN vs final labeling).
+//
+// The historical method family (label / label_into / label_with_stats /
+// label_with_stats_into) remains as thin non-virtual wrappers that build a
+// LabelRequest and delegate, so results are bit-identical whichever
+// surface a caller uses; the exhaustive/differential/metamorphic suites
+// exercise run() through them on every call.
 #pragma once
 
 #include <memory>
@@ -15,10 +23,29 @@
 #include "common/types.hpp"
 #include "image/connectivity.hpp"
 #include "image/raster.hpp"
+#include "image/view.hpp"
 
 namespace paremsp {
 
-class LabelScratch;  // core/label_scratch.hpp
+class LabelScratch;   // core/label_scratch.hpp
+struct LabelRequest;  // core/request.hpp
+struct LabelResponse;
+
+/// Every labeling algorithm in the library. (Defined here rather than in
+/// registry.hpp so the Labeler base can carry its own identity; the
+/// registry remains the catalog over these ids.)
+enum class Algorithm {
+  FloodFill,       // BFS oracle (tests)
+  Suzuki,          // multi-pass, 1-D connection table [10]
+  SuzukiParallel,  // chunked parallel multi-pass, after [42]
+  Run,             // He 2008 run-based two-scan [43]
+  Arun,            // He 2012 two-line two-scan [37]
+  Ccllrpc,         // Wu 2009 decision tree + array union-find [36]
+  Cclremsp,        // paper §III-A: decision tree + REMSP
+  Aremsp,          // paper §III-B: two-line scan + REMSP
+  Paremsp,         // paper §IV: parallel AREMSP
+  ParemspTiled,    // extension: 2-D tiled PAREMSP
+};
 
 /// Wall-clock breakdown of one labeling run, in milliseconds.
 struct PhaseTimings {
@@ -36,7 +63,8 @@ struct PhaseTimings {
   }
 };
 
-/// Output of a labeling run.
+/// Output of a labeling run (the legacy result shape; LabelResponse in
+/// core/request.hpp is the request-API equivalent).
 struct LabelingResult {
   LabelImage labels;          // final labels, 0 = background
   Label num_components = 0;   // labels used: 1..num_components
@@ -53,6 +81,12 @@ struct LabelingWithStats {
 };
 
 /// Abstract connected-component labeler.
+///
+/// Construction fixes the algorithm identity and the DEFAULT connectivity;
+/// a LabelRequest may override connectivity per call, validated through
+/// the registry's require_supported so direct construction, make_labeler
+/// and per-request overrides all reject an unsupported combination with
+/// the same PreconditionError.
 class Labeler {
  public:
   virtual ~Labeler() = default;
@@ -63,39 +97,71 @@ class Labeler {
   /// True if the implementation uses multiple threads.
   [[nodiscard]] virtual bool is_parallel() const noexcept { return false; }
 
-  /// Label all connected components of `image`.
-  /// Postcondition: result passes analysis::validate_labeling.
-  [[nodiscard]] virtual LabelingResult label(const BinaryImage& image) const = 0;
+  /// Registry id of this labeler.
+  [[nodiscard]] Algorithm algorithm() const noexcept { return algorithm_; }
 
-  /// Label `image` using `scratch` for all transient storage, so repeated
-  /// calls on a warm LabelScratch run allocation-free on the hot path.
-  /// The labeling is bit-identical to label() — scratch only changes where
-  /// the buffers come from, never the result (the engine tests assert
-  /// this for every algorithm). Overridden by the algorithms that support
-  /// workspace reuse (AlgorithmInfo::scratch_reuse in the registry); the
-  /// default ignores `scratch` and allocates per call like label().
-  [[nodiscard]] virtual LabelingResult label_into(
-      const BinaryImage& image, LabelScratch& scratch) const {
-    (void)scratch;
-    return label(image);
+  /// Connectivity used when a request does not override it.
+  [[nodiscard]] Connectivity default_connectivity() const noexcept {
+    return default_connectivity_;
   }
 
+  /// Execute one labeling request (see core/request.hpp for the request /
+  /// response contract). The input view is read zero-copy — strided ROIs
+  /// are labeled in place, never materialized. Postcondition: the labels
+  /// (wherever the request routed them) pass analysis::validate_labeling.
+  [[nodiscard]] LabelResponse run(const LabelRequest& request) const;
+
+  /// run() drawing all transient storage from `scratch`, so repeated
+  /// calls on a warm LabelScratch run allocation-free on the hot path.
+  /// Bit-identical to the one-shot overload — scratch only changes where
+  /// buffers come from, never the result.
+  [[nodiscard]] LabelResponse run(const LabelRequest& request,
+                                  LabelScratch& scratch) const;
+
+  // --- Legacy entry points ---------------------------------------------------
+  // Thin wrappers: each builds the equivalent LabelRequest and delegates
+  // to run(), so every call below is bit-for-bit a request-API call.
+
+  /// Label all connected components of `image`.
+  [[nodiscard]] LabelingResult label(const BinaryImage& image) const;
+
+  /// label() through a reusable LabelScratch.
+  [[nodiscard]] LabelingResult label_into(const BinaryImage& image,
+                                          LabelScratch& scratch) const;
+
   /// Label `image` AND measure every component (area, bbox, exact centroid
-  /// sums) in one call. Algorithms flagged AlgorithmInfo::fused_stats in
-  /// the registry accumulate the features during the labeling scan itself
-  /// (overriding label_with_stats_into) — no second pass over the pixels;
-  /// everything else falls back to label() + analysis::compute_stats. The
-  /// labeling is bit-identical to label(), and the stats are
-  /// value-identical to the post-pass either way (asserted across the
-  /// differential/exhaustive/metamorphic suites).
+  /// sums) in one call. Algorithms flagged AlgorithmInfo::fused_stats
+  /// accumulate the features during the labeling scan itself; everything
+  /// else falls back to labeling + analysis::compute_stats with
+  /// value-identical results.
   [[nodiscard]] LabelingWithStats label_with_stats(
       const BinaryImage& image) const;
 
-  /// label_with_stats through a reusable LabelScratch (the engine's
-  /// allocation-free hot path; same contract as label_into vs label).
-  /// This is the single override point for fused implementations.
-  [[nodiscard]] virtual LabelingWithStats label_with_stats_into(
+  /// label_with_stats through a reusable LabelScratch.
+  [[nodiscard]] LabelingWithStats label_with_stats_into(
       const BinaryImage& image, LabelScratch& scratch) const;
+
+ protected:
+  /// Registers identity and validates the default connectivity through
+  /// require_supported — direct construction of any labeler rejects an
+  /// unsupported connectivity exactly like make_labeler does.
+  Labeler(Algorithm algorithm, Connectivity connectivity);
+
+  /// The single override point: label `image` under `connectivity`
+  /// (already validated against the registry), drawing transient storage
+  /// from `scratch`. When `stats` is non-null the implementation must
+  /// also fill it with per-component features value-identical to
+  /// analysis::compute_stats on its own output — fused into the scan
+  /// where the algorithm supports it, via the post-pass otherwise.
+  /// The returned label plane is always packed and owned (run() routes it
+  /// into the caller's label_out view when the request asks).
+  [[nodiscard]] virtual LabelingResult run_impl(
+      ConstImageView image, Connectivity connectivity, LabelScratch& scratch,
+      analysis::ComponentStats* stats) const = 0;
+
+ private:
+  Algorithm algorithm_;
+  Connectivity default_connectivity_;
 };
 
 }  // namespace paremsp

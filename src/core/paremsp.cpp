@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/component_stats.hpp"
 #include "analysis/feature_accumulator.hpp"
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
@@ -78,7 +79,8 @@ void merge_boundary_row(const LabelImage& labels, Coord row, UniteFn&& unite) {
 
 }  // namespace
 
-ParemspLabeler::ParemspLabeler(ParemspConfig config) : config_(config) {
+ParemspLabeler::ParemspLabeler(ParemspConfig config)
+    : Labeler(Algorithm::Paremsp, Connectivity::Eight), config_(config) {
   PAREMSP_REQUIRE(config_.threads >= 0, "threads must be >= 0");
   PAREMSP_REQUIRE(config_.lock_bits >= 0 && config_.lock_bits <= 24,
                   "lock_bits out of range");
@@ -87,28 +89,23 @@ ParemspLabeler::ParemspLabeler(ParemspConfig config) : config_(config) {
   }
 }
 
-LabelingResult ParemspLabeler::label(const BinaryImage& image) const {
-  LabelScratch scratch;
-  return label_into(image, scratch);
-}
-
-LabelingResult ParemspLabeler::label_into(const BinaryImage& image,
-                                          LabelScratch& scratch) const {
-  return label_impl(image, scratch, nullptr);
-}
-
-LabelingWithStats ParemspLabeler::label_with_stats_into(
-    const BinaryImage& image, LabelScratch& scratch) const {
-  if (config_.scan == ScanStrategy::OneLine) {
-    // The one-line ablation kernel has no feature hooks: generic fallback.
-    return Labeler::label_with_stats_into(image, scratch);
+LabelingResult ParemspLabeler::run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+    const {
+  (void)connectivity;  // 8-only; run() rejected anything else
+  if (stats != nullptr && config_.scan == ScanStrategy::OneLine) {
+    // The one-line ablation kernel has no feature hooks: label first,
+    // then the generic post-pass (value-identical by construction).
+    LabelingResult result = label_impl(image, scratch, nullptr);
+    *stats = analysis::compute_stats(result.labels, result.num_components);
+    return result;
   }
-  LabelingWithStats out;
-  out.labeling = label_impl(image, scratch, &out.stats);
-  return out;
+  return label_impl(image, scratch, stats);
 }
 
-LabelingResult ParemspLabeler::label_impl(const BinaryImage& image,
+LabelingResult ParemspLabeler::label_impl(ConstImageView image,
                                           LabelScratch& scratch,
                                           analysis::ComponentStats* stats)
     const {

@@ -70,25 +70,28 @@ class ParemspLabeler final : public Labeler {
     return "paremsp";
   }
   [[nodiscard]] bool is_parallel() const noexcept override { return true; }
-  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
-  [[nodiscard]] LabelingResult label_into(
-      const BinaryImage& image, LabelScratch& scratch) const override;
-  /// Fused component analysis for the two-line scan strategy: each chunk
-  /// accumulates features during its local scan (disjoint cell ranges, no
-  /// synchronization), and the per-chunk cells reduce through FLATTEN.
-  /// The one-line ablation strategy falls back to the generic post-pass.
-  [[nodiscard]] LabelingWithStats label_with_stats_into(
-      const BinaryImage& image, LabelScratch& scratch) const override;
 
   [[nodiscard]] const ParemspConfig& config() const noexcept {
     return config_;
   }
 
+ protected:
+  /// Fused component analysis for the two-line scan strategy when `stats`
+  /// is requested: each chunk accumulates features during its local scan
+  /// (disjoint cell ranges, no synchronization), and the per-chunk cells
+  /// reduce through FLATTEN. The one-line ablation strategy falls back to
+  /// the generic post-pass.
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
+
  private:
-  /// Shared body of label_into / label_with_stats_into: when `stats` is
-  /// non-null the two-line chunk scans run with the feature sink fused in
-  /// and the accumulated cells reduce through FLATTEN into `stats`.
-  [[nodiscard]] LabelingResult label_impl(const BinaryImage& image,
+  /// Shared chunked-scan body; when `stats` is non-null the two-line chunk
+  /// scans run with the feature sink fused in and the accumulated cells
+  /// reduce through FLATTEN into `stats`.
+  [[nodiscard]] LabelingResult label_impl(ConstImageView image,
                                           LabelScratch& scratch,
                                           analysis::ComponentStats* stats)
       const;

@@ -28,6 +28,7 @@
 #include "core/paremsp.hpp"
 #include "core/paremsp_tiled.hpp"
 #include "core/registry.hpp"
+#include "core/request.hpp"
 #include "engine/engine.hpp"
 #include "image/ascii.hpp"
 #include "image/connectivity.hpp"
@@ -35,3 +36,4 @@
 #include "image/pnm_io.hpp"
 #include "image/raster.hpp"
 #include "image/threshold.hpp"
+#include "image/view.hpp"

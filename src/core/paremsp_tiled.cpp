@@ -14,7 +14,8 @@
 namespace paremsp {
 
 TiledParemspLabeler::TiledParemspLabeler(TiledParemspConfig config)
-    : config_(config) {
+    : Labeler(Algorithm::ParemspTiled, Connectivity::Eight),
+      config_(config) {
   PAREMSP_REQUIRE(config_.threads >= 0, "threads must be >= 0");
   PAREMSP_REQUIRE(config_.tile_rows >= 1 && config_.tile_cols >= 1,
                   "tiles must be at least 1x1");
@@ -25,26 +26,10 @@ TiledParemspLabeler::TiledParemspLabeler(TiledParemspConfig config)
   }
 }
 
-LabelingResult TiledParemspLabeler::label(const BinaryImage& image) const {
-  LabelScratch scratch;
-  return label_into(image, scratch);
-}
-
-LabelingResult TiledParemspLabeler::label_into(const BinaryImage& image,
-                                               LabelScratch& scratch) const {
-  return label_impl(image, scratch, nullptr);
-}
-
-LabelingWithStats TiledParemspLabeler::label_with_stats_into(
-    const BinaryImage& image, LabelScratch& scratch) const {
-  LabelingWithStats out;
-  out.labeling = label_impl(image, scratch, &out.stats);
-  return out;
-}
-
-LabelingResult TiledParemspLabeler::label_impl(
-    const BinaryImage& image, LabelScratch& scratch,
+LabelingResult TiledParemspLabeler::run_impl(
+    ConstImageView image, Connectivity connectivity, LabelScratch& scratch,
     analysis::ComponentStats* stats) const {
+  (void)connectivity;  // 8-only; run() rejected anything else
   const WallTimer total;
   LabelingResult result;
   result.labels = scratch.acquire_plane(image.rows(), image.cols(),

@@ -48,27 +48,21 @@ class TiledParemspLabeler final : public Labeler {
     return "paremsp2d";
   }
   [[nodiscard]] bool is_parallel() const noexcept override { return true; }
-  [[nodiscard]] LabelingResult label(const BinaryImage& image) const override;
-  [[nodiscard]] LabelingResult label_into(
-      const BinaryImage& image, LabelScratch& scratch) const override;
-  /// Fused component analysis: tile scans accumulate features into
-  /// disjoint cell ranges, the seam merges decide which cells belong
-  /// together, and the resolve phase reduces them — no pixel re-read for
-  /// any tile geometry.
-  [[nodiscard]] LabelingWithStats label_with_stats_into(
-      const BinaryImage& image, LabelScratch& scratch) const override;
 
   [[nodiscard]] const TiledParemspConfig& config() const noexcept {
     return config_;
   }
 
- private:
-  /// Shared body of label_into / label_with_stats_into (fused analysis
-  /// when `stats` is non-null).
-  [[nodiscard]] LabelingResult label_impl(const BinaryImage& image,
-                                          LabelScratch& scratch,
-                                          analysis::ComponentStats* stats)
-      const;
+ protected:
+  /// Fused component analysis when `stats` is requested: tile scans
+  /// accumulate features into disjoint cell ranges, the seam merges
+  /// decide which cells belong together, and the resolve phase reduces
+  /// them — no pixel re-read for any tile geometry.
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
 
   TiledParemspConfig config_;
   std::unique_ptr<uf::LockPool> locks_;

@@ -14,19 +14,8 @@
 
 namespace paremsp {
 
-/// Every labeling algorithm in the library.
-enum class Algorithm {
-  FloodFill,       // BFS oracle (tests)
-  Suzuki,          // multi-pass, 1-D connection table [10]
-  SuzukiParallel,  // chunked parallel multi-pass, after [42]
-  Run,             // He 2008 run-based two-scan [43]
-  Arun,            // He 2012 two-line two-scan [37]
-  Ccllrpc,         // Wu 2009 decision tree + array union-find [36]
-  Cclremsp,        // paper §III-A: decision tree + REMSP
-  Aremsp,          // paper §III-B: two-line scan + REMSP
-  Paremsp,         // paper §IV: parallel AREMSP
-  ParemspTiled,    // extension: 2-D tiled PAREMSP
-};
+// `enum class Algorithm` lives in core/labeling.hpp (the Labeler base
+// carries its own id); this header remains the catalog over those ids.
 
 /// Catalog entry describing one algorithm.
 struct AlgorithmInfo {
@@ -70,6 +59,9 @@ struct AlgorithmInfo {
 
 /// Options accepted by make_labeler (each algorithm uses what applies).
 struct LabelerOptions {
+  /// The labeler's DEFAULT connectivity: requests without an explicit
+  /// LabelRequest::connectivity run under this; a request may override it
+  /// per call (validated through require_supported either way).
   Connectivity connectivity = Connectivity::Eight;
   int threads = 0;                                    // PAREMSP only
   MergeBackend merge_backend = MergeBackend::LockedRem;  // PAREMSP only

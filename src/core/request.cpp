@@ -1,0 +1,71 @@
+// Execution of the unified request API: Labeler::run builds on the
+// per-algorithm run_impl hook and routes outputs per the request.
+#include "core/request.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "core/label_scratch.hpp"
+#include "core/registry.hpp"
+
+namespace paremsp {
+
+Connectivity validate_request(const LabelRequest& request,
+                              Algorithm algorithm, Connectivity fallback) {
+  const Connectivity connectivity = request.connectivity.value_or(fallback);
+  // Same gate as construction and make_labeler: one uniform
+  // PreconditionError for an unsupported algorithm/connectivity pair.
+  require_supported(algorithm, connectivity);
+  if (request.label_out.has_value()) {
+    PAREMSP_REQUIRE(request.label_out->rows() == request.input.rows() &&
+                        request.label_out->cols() == request.input.cols(),
+                    "label_out dimensions must match the request input");
+  }
+  return connectivity;
+}
+
+LabelingResult to_labeling_result(LabelResponse&& response) {
+  return LabelingResult{std::move(response.labels), response.num_components,
+                        response.timings};
+}
+
+LabelingWithStats to_labeling_with_stats(LabelResponse&& response) {
+  LabelingWithStats out;
+  out.stats = std::move(*response.stats);
+  out.labeling = to_labeling_result(std::move(response));
+  return out;
+}
+
+LabelResponse Labeler::run(const LabelRequest& request) const {
+  LabelScratch scratch;
+  return run(request, scratch);
+}
+
+LabelResponse Labeler::run(const LabelRequest& request,
+                           LabelScratch& scratch) const {
+  const Connectivity connectivity =
+      validate_request(request, algorithm(), default_connectivity());
+
+  analysis::ComponentStats stats;
+  LabelingResult result =
+      run_impl(request.input, connectivity, scratch,
+               request.outputs.stats ? &stats : nullptr);
+
+  LabelResponse response;
+  response.num_components = result.num_components;
+  response.timings = result.timings;
+  if (request.outputs.stats) response.stats = std::move(stats);
+  if (request.label_out.has_value()) {
+    // The caller routed the plane into their own (possibly strided)
+    // storage; the scratch pool keeps the working plane for the next run.
+    copy_labels(result.labels, *request.label_out);
+    scratch.recycle_plane(std::move(result.labels));
+  } else if (request.outputs.labels) {
+    response.labels = std::move(result.labels);
+  } else {
+    scratch.recycle_plane(std::move(result.labels));
+  }
+  return response;
+}
+
+}  // namespace paremsp

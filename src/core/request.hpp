@@ -1,0 +1,135 @@
+// Unified request/response labeling API.
+//
+// One parameterized entry point replaces the historical method matrix
+// (label / label_into / label_with_stats / … on Labeler; submit /
+// submit_view / submit_with_stats / submit_sharded / … on the engine):
+//
+//   LabelRequest request;
+//   request.input = image;                    // raster, ROI, or raw buffer
+//   request.outputs.stats = true;             // what to compute
+//   LabelResponse r = labeler->run(request);  // or engine.submit(request)
+//
+// Production CCL front ends (OpenCV's connectedComponentsWithStats, the
+// GPU union-find line of Chen et al., the run-based analysis API of
+// Lemaitre & Lacassagne) converge on exactly this shape: a single call
+// over a non-owning image view, parameterized by connectivity and the
+// requested outputs. Future capabilities (filtering, contours, new
+// backends) become request fields here, not new method families.
+//
+// Ownership and lifetime: a request BORROWS everything it references.
+// `input` (and `label_out`, when set) must stay alive and unmodified for
+// the duration of run(); for the engine's asynchronous submit(), until the
+// returned future is ready — the same contract the engine's submit_view
+// established. The engine's owning submit(BinaryImage) wrapper keeps the
+// pixels alive inside the job for callers who want fire-and-forget.
+// See DESIGN.md §7 for the dataflow.
+#pragma once
+
+#include <optional>
+
+#include "analysis/component_stats.hpp"
+#include "core/labeling.hpp"
+#include "core/paremsp.hpp"  // MergeBackend
+#include "image/connectivity.hpp"
+#include "image/view.hpp"
+#include "unionfind/lock_pool.hpp"
+
+namespace paremsp {
+
+/// Which outputs a request asks for. `num_components` and timings are
+/// always produced; the label plane and the per-component stats are
+/// selectable (a stats-only request skips returning the plane entirely —
+/// the counting/measuring workload).
+struct OutputSet {
+  bool labels = true;  // deliver the label plane (owned or via label_out)
+  bool stats = false;  // per-component area/bbox/centroid (fused when able)
+};
+
+/// Tuning knobs for sharded execution of one huge image across the
+/// engine's worker pool (the scan → seam-merge → flatten → rewrite
+/// dataflow of engine/sharded_labeler.hpp). Lives at the request layer so
+/// `LabelRequest::shard` can select the sharded path; the semantics —
+/// which pixels end up in which component — are unchanged by sharding
+/// (bit-identical to sequential AREMSP for every tile geometry).
+struct ShardOptions {
+  /// Tile height in rows; any value >= 1 (oversize clamps to the image).
+  Coord tile_rows = 512;
+  /// Tile width in columns. Minimum 1.
+  Coord tile_cols = 512;
+  /// Seam-merge backend (shared with PAREMSP). Sequential runs every seam
+  /// in one job — the ablation lower bound — since rem_unite must not run
+  /// concurrently; the parallel backends get one merge job per tile.
+  MergeBackend merge_backend = MergeBackend::LockedRem;
+  /// log2 of the striped lock-pool size (LockedRem only).
+  int lock_bits = uf::LockPool::kDefaultBits;
+};
+
+/// One labeling request: what to label, under which connectivity, which
+/// outputs to produce, and (optionally) where to put the labels and how to
+/// schedule the work.
+struct LabelRequest {
+  /// The pixels to label (nonzero = foreground). Any strided view: a whole
+  /// raster, an ROI subview, or a window over a caller-owned buffer. Read
+  /// zero-copy by every algorithm.
+  ConstImageView input;
+
+  /// Per-request connectivity override; nullopt uses the labeler's (or
+  /// engine worker's) construction default. Validated through the
+  /// registry's require_supported, so an unsupported combination throws
+  /// the same PreconditionError as construction would.
+  std::optional<Connectivity> connectivity;
+
+  /// What to compute.
+  OutputSet outputs;
+
+  /// Optional caller-owned destination for the final labels (dimensions
+  /// must equal input's; may be strided — e.g. an ROI of a larger label
+  /// plane). When set, the labels are written here and
+  /// LabelResponse::labels stays empty. When unset and outputs.labels is
+  /// true, the response carries an owned packed plane.
+  std::optional<MutableImageView> label_out;
+
+  /// Engine scheduling hint: when set, LabelingEngine::submit labels the
+  /// image through the sharded tile pipeline (one huge image across the
+  /// worker pool) instead of as a single job. Ignored by direct
+  /// Labeler::run — sharding never changes the result, only where the
+  /// work runs, so a request means the same thing on either executor.
+  std::optional<ShardOptions> shard;
+};
+
+struct LabelResponse;
+
+/// Resolve a request's effective connectivity (the override when set,
+/// `fallback` — the executing labeler's construction default — otherwise)
+/// and validate the request against `algorithm`: the connectivity gate
+/// through the registry's require_supported plus the label_out dimension
+/// contract. The single gate shared by Labeler::run and the engine's
+/// sharded path, so every executor accepts and rejects identically.
+[[nodiscard]] Connectivity validate_request(const LabelRequest& request,
+                                            Algorithm algorithm,
+                                            Connectivity fallback);
+
+/// The legacy result shape of a response: labels, count and timings move
+/// over. Shared by every legacy wrapper (Labeler's and the engine's) so
+/// the field mapping lives in exactly one place.
+[[nodiscard]] LabelingResult to_labeling_result(LabelResponse&& response);
+
+/// Legacy pair shape of a stats-carrying response; the response's stats
+/// optional must be engaged (the request asked for stats).
+[[nodiscard]] LabelingWithStats to_labeling_with_stats(
+    LabelResponse&& response);
+
+/// Outcome of one labeling request.
+struct LabelResponse {
+  /// Owned label plane (packed), when the request asked for labels and
+  /// did not redirect them into label_out; empty otherwise.
+  LabelImage labels;
+  /// Components found: final labels are 1..num_components, 0 background.
+  Label num_components = 0;
+  /// Per-component features; engaged iff request.outputs.stats.
+  std::optional<analysis::ComponentStats> stats;
+  /// Per-phase wall-clock breakdown of the run.
+  PhaseTimings timings;
+};
+
+}  // namespace paremsp

@@ -17,7 +17,7 @@
 
 #include "core/equiv_policies.hpp"
 #include "image/connectivity.hpp"
-#include "image/raster.hpp"
+#include "image/view.hpp"
 
 namespace paremsp {
 
@@ -27,7 +27,7 @@ namespace paremsp {
 /// provisional labels into `labels` and equivalences into `eq`. Returns
 /// the number of provisional labels issued.
 template <class Equiv>
-Label scan_one_line_8(const BinaryImage& image, LabelImage& labels,
+Label scan_one_line_8(ConstImageView image, MutableImageView labels,
                       Equiv& eq, Coord row_begin, Coord row_end) {
   const Coord cols = image.cols();
   for (Coord r = row_begin; r < row_end; ++r) {
@@ -68,7 +68,7 @@ Label scan_one_line_8(const BinaryImage& image, LabelImage& labels,
 /// 4-connectivity variant: the mask is {b = up, d = left}; both foreground
 /// requires one merge.
 template <class Equiv>
-Label scan_one_line_4(const BinaryImage& image, LabelImage& labels,
+Label scan_one_line_4(ConstImageView image, MutableImageView labels,
                       Equiv& eq, Coord row_begin, Coord row_end) {
   const Coord cols = image.cols();
   for (Coord r = row_begin; r < row_end; ++r) {
@@ -95,7 +95,7 @@ Label scan_one_line_4(const BinaryImage& image, LabelImage& labels,
 
 /// Dispatch on connectivity (full-image scan).
 template <class Equiv>
-Label scan_one_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
+Label scan_one_line(ConstImageView image, MutableImageView labels, Equiv& eq,
                     Connectivity connectivity) {
   return connectivity == Connectivity::Eight
              ? scan_one_line_8(image, labels, eq, 0, image.rows())

@@ -21,10 +21,16 @@
 // pair alignment is identical for every thread count.
 //
 // Only 8-connectivity: the mask is inherently 8-connected.
+//
+// The kernel reads pixels through a ConstImageView and writes labels
+// through a MutableImageView (image/view.hpp): row pitch is a per-view
+// runtime stride, so packed rasters, ROI subviews and caller-owned padded
+// buffers all scan through the one instantiation, zero-copy. Rasters
+// convert to views implicitly (pitch == cols), so call sites are unchanged.
 #pragma once
 
 #include "core/equiv_policies.hpp"
-#include "image/raster.hpp"
+#include "image/view.hpp"
 
 namespace paremsp {
 
@@ -49,7 +55,7 @@ struct NoFeatureSink {
 /// while the pixel is already in registers, instead of a second full read
 /// of the label plane afterwards.
 template <class Equiv, class FeatureSink>
-Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
+Label scan_two_line(ConstImageView image, MutableImageView labels, Equiv& eq,
                     FeatureSink& sink, Coord row_begin, Coord row_end,
                     Coord col_begin, Coord col_end) {
   for (Coord r = row_begin; r < row_end; r += 2) {
@@ -124,7 +130,7 @@ Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
 
 /// Rectangle overload without feature accumulation (plain labeling).
 template <class Equiv>
-Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
+Label scan_two_line(ConstImageView image, MutableImageView labels, Equiv& eq,
                     Coord row_begin, Coord row_end, Coord col_begin,
                     Coord col_end) {
   NoFeatureSink sink;
@@ -134,7 +140,7 @@ Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
 
 /// Row-range overload covering all columns (PAREMSP row chunks, AREMSP).
 template <class Equiv>
-Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
+Label scan_two_line(ConstImageView image, MutableImageView labels, Equiv& eq,
                     Coord row_begin, Coord row_end) {
   return scan_two_line(image, labels, eq, row_begin, row_end, 0,
                        image.cols());
@@ -142,7 +148,7 @@ Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
 
 /// Row-range overload with feature accumulation (fused AREMSP/PAREMSP).
 template <class Equiv, class FeatureSink>
-Label scan_two_line(const BinaryImage& image, LabelImage& labels, Equiv& eq,
+Label scan_two_line(ConstImageView image, MutableImageView labels, Equiv& eq,
                     FeatureSink& sink, Coord row_begin, Coord row_end) {
   return scan_two_line(image, labels, eq, sink, row_begin, row_end, 0,
                        image.cols());

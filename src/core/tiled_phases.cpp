@@ -29,14 +29,14 @@ std::vector<TileSpec> make_tile_grid(Coord rows, Coord cols, Coord tile_rows,
   return tiles;
 }
 
-Label scan_tile(const BinaryImage& image, LabelImage& labels,
+Label scan_tile(ConstImageView image, LabelImage& labels,
                 std::span<Label> parents, const TileSpec& tile) {
   RemEquiv eq(parents, tile.base);
   return scan_two_line(image, labels, eq, tile.row_begin, tile.row_end,
                        tile.col_begin, tile.col_end);
 }
 
-Label scan_tile(const BinaryImage& image, LabelImage& labels,
+Label scan_tile(ConstImageView image, LabelImage& labels,
                 std::span<Label> parents, const TileSpec& tile,
                 std::span<analysis::FeatureCell> cells) {
   RemEquiv eq(parents, tile.base);

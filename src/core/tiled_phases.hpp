@@ -43,6 +43,7 @@
 #include "analysis/feature_accumulator.hpp"
 #include "common/types.hpp"
 #include "image/raster.hpp"
+#include "image/view.hpp"
 
 namespace paremsp {
 
@@ -80,7 +81,7 @@ struct TileSpec {
 /// merge_tile_seams. Returns the number of labels issued (the caller
 /// stores it in tile.used). Thread-safe across distinct tiles: a tile
 /// scan writes only its own label range and its own pixel rectangle.
-[[nodiscard]] Label scan_tile(const BinaryImage& image, LabelImage& labels,
+[[nodiscard]] Label scan_tile(ConstImageView image, LabelImage& labels,
                               std::span<Label> parents, const TileSpec& tile);
 
 /// Fused-analysis variant of scan_tile: identical labeling, but every
@@ -90,7 +91,7 @@ struct TileSpec {
 /// only cells in its own label range (tile.base, tile.base + used], so
 /// concurrent tiles share one cell array race-free, exactly like they
 /// share `parents`.
-[[nodiscard]] Label scan_tile(const BinaryImage& image, LabelImage& labels,
+[[nodiscard]] Label scan_tile(ConstImageView image, LabelImage& labels,
                               std::span<Label> parents, const TileSpec& tile,
                               std::span<analysis::FeatureCell> cells);
 

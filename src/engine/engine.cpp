@@ -17,6 +17,26 @@ int resolved_workers(int requested) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+/// The one delivery adapter: fail the promise on error, otherwise adapt
+/// the LabelResponse into the promise's result shape. Every submit
+/// wrapper differs ONLY in `adapt`.
+template <class Result, class Adapt>
+std::function<void(std::exception_ptr, LabelResponse&&)> make_deliver(
+    std::shared_ptr<std::promise<Result>> promise, Adapt adapt) {
+  return [promise = std::move(promise), adapt = std::move(adapt)](
+             std::exception_ptr error, LabelResponse&& response) {
+    if (error != nullptr) {
+      promise->set_exception(std::move(error));
+    } else {
+      promise->set_value(adapt(std::move(response)));
+    }
+  };
+}
+
+constexpr auto kAsResponse = [](LabelResponse&& r) { return std::move(r); };
+// to_labeling_result / to_labeling_with_stats (core/request.hpp) are the
+// legacy-shape adapters.
+
 }  // namespace
 
 LabelingEngine::LabelingEngine(EngineConfig config)
@@ -47,48 +67,109 @@ LabelingEngine::LabelingEngine(EngineConfig config)
 
 LabelingEngine::~LabelingEngine() { shutdown(); }
 
+template <class Result, class Adapt>
+std::future<Result> LabelingEngine::submit_as(LabelRequest request,
+                                              BinaryImage owned, Adapt adapt) {
+  auto promise = std::make_shared<std::promise<Result>>();
+  std::future<Result> future = promise->get_future();
+  submit_request(std::move(request), std::move(owned),
+                 make_deliver(std::move(promise), std::move(adapt)));
+  return future;
+}
+
+std::future<LabelResponse> LabelingEngine::submit(LabelRequest request) {
+  return submit_as<LabelResponse>(std::move(request), BinaryImage{},
+                                  kAsResponse);
+}
+
 std::future<LabelingResult> LabelingEngine::submit(BinaryImage image) {
-  Job job;
-  job.owned = std::move(image);
-  job.submitted_at = EngineStats::Clock::now();
-  return enqueue(std::move(job));
+  LabelRequest request;
+  request.input = image;  // views the heap buffer the job will own
+  return submit_as<LabelingResult>(std::move(request), std::move(image),
+                                   to_labeling_result);
 }
 
 std::future<LabelingResult> LabelingEngine::submit_view(
     const BinaryImage& image) {
-  Job job;
-  job.borrowed = &image;
-  job.submitted_at = EngineStats::Clock::now();
-  return enqueue(std::move(job));
-}
-
-std::future<LabelingResult> LabelingEngine::enqueue(Job job) {
-  std::future<LabelingResult> future = job.promise.get_future();
-  push_job(std::move(job));
-  return future;
+  LabelRequest request;
+  request.input = image;
+  return submit_as<LabelingResult>(std::move(request), BinaryImage{},
+                                   to_labeling_result);
 }
 
 std::future<LabelingWithStats> LabelingEngine::submit_with_stats(
     BinaryImage image) {
-  Job job;
-  job.owned = std::move(image);
-  job.submitted_at = EngineStats::Clock::now();
-  return enqueue_with_stats(std::move(job));
+  LabelRequest request;
+  request.input = image;
+  request.outputs.stats = true;
+  return submit_as<LabelingWithStats>(std::move(request), std::move(image),
+                                      to_labeling_with_stats);
 }
 
 std::future<LabelingWithStats> LabelingEngine::submit_view_with_stats(
     const BinaryImage& image) {
-  Job job;
-  job.borrowed = &image;
-  job.submitted_at = EngineStats::Clock::now();
-  return enqueue_with_stats(std::move(job));
+  LabelRequest request;
+  request.input = image;
+  request.outputs.stats = true;
+  return submit_as<LabelingWithStats>(std::move(request), BinaryImage{},
+                                      to_labeling_with_stats);
 }
 
-std::future<LabelingWithStats> LabelingEngine::enqueue_with_stats(Job job) {
-  std::future<LabelingWithStats> future =
-      job.stats_promise.emplace().get_future();
+std::vector<std::future<LabelingResult>> LabelingEngine::submit_batch(
+    std::vector<BinaryImage> images) {
+  std::vector<std::future<LabelingResult>> futures;
+  futures.reserve(images.size());
+  for (BinaryImage& image : images) {
+    futures.push_back(submit(std::move(image)));
+  }
+  return futures;
+}
+
+std::future<LabelingResult> LabelingEngine::submit_sharded(
+    const BinaryImage& image, const ShardOptions& options) {
+  LabelRequest request;
+  request.input = image;
+  request.shard = options;
+  return submit_as<LabelingResult>(std::move(request), BinaryImage{},
+                                   to_labeling_result);
+}
+
+LabelingResult LabelingEngine::label_sharded(const BinaryImage& image,
+                                             const ShardOptions& options) {
+  return submit_sharded(image, options).get();
+}
+
+std::future<LabelingWithStats> LabelingEngine::submit_sharded_with_stats(
+    const BinaryImage& image, const ShardOptions& options) {
+  LabelRequest request;
+  request.input = image;
+  request.outputs.stats = true;
+  request.shard = options;
+  return submit_as<LabelingWithStats>(std::move(request), BinaryImage{},
+                                      to_labeling_with_stats);
+}
+
+LabelingWithStats LabelingEngine::label_sharded_with_stats(
+    const BinaryImage& image, const ShardOptions& options) {
+  return submit_sharded_with_stats(image, options).get();
+}
+
+void LabelingEngine::submit_request(LabelRequest request, BinaryImage owned,
+                                    Deliver deliver) {
+  if (request.shard.has_value()) {
+    // The sharded pipeline borrows the input; an owned image would die
+    // with this stack frame while tile jobs still read it.
+    PAREMSP_REQUIRE(owned.empty(),
+                    "sharded requests borrow their input (submit the view)");
+    start_sharded(std::move(request), std::move(deliver));
+    return;
+  }
+  Job job;
+  job.request = std::move(request);
+  job.owned = std::move(owned);
+  job.deliver = std::move(deliver);
+  job.submitted_at = EngineStats::Clock::now();
   push_job(std::move(job));
-  return future;
 }
 
 void LabelingEngine::push_job(Job job) {
@@ -173,16 +254,6 @@ void LabelingEngine::return_shard_cells(ShardCellBuffer buffer) {
   }
 }
 
-std::vector<std::future<LabelingResult>> LabelingEngine::submit_batch(
-    std::vector<BinaryImage> images) {
-  std::vector<std::future<LabelingResult>> futures;
-  futures.reserve(images.size());
-  for (BinaryImage& image : images) {
-    futures.push_back(submit(std::move(image)));
-  }
-  return futures;
-}
-
 void LabelingEngine::recycle(LabelImage&& plane) {
   std::lock_guard lock(recycled_mutex_);
   // Parking more planes than the pool can adopt soon just hoards memory.
@@ -245,17 +316,11 @@ void LabelingEngine::worker_main(ScratchArena& arena) {
       continue;
     }
     maybe_adopt_recycled(arena);
-    const std::int64_t pixels = job->image().size();
-    LabelingResult result;
-    LabelingWithStats with_stats;
+    const std::int64_t pixels = job->request.input.size();
+    LabelResponse response;
     std::exception_ptr error;
     try {
-      if (job->stats_promise.has_value()) {
-        with_stats = labeler->label_with_stats_into(job->image(),
-                                                    arena.scratch());
-      } else {
-        result = labeler->label_into(job->image(), arena.scratch());
-      }
+      response = labeler->run(job->request, arena.scratch());
     } catch (...) {
       error = std::current_exception();
     }
@@ -269,17 +334,7 @@ void LabelingEngine::worker_main(ScratchArena& arena) {
             .count();
     stats_.record_completion(latency_ms, failed ? 0 : pixels, failed);
     arena.note_job(failed ? 0 : pixels);
-    if (job->stats_promise.has_value()) {
-      if (failed) {
-        job->stats_promise->set_exception(std::move(error));
-      } else {
-        job->stats_promise->set_value(std::move(with_stats));
-      }
-    } else if (failed) {
-      job->promise.set_exception(std::move(error));
-    } else {
-      job->promise.set_value(std::move(result));
-    }
+    job->deliver(std::move(error), std::move(response));
   }
 }
 

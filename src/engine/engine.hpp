@@ -8,18 +8,25 @@
 // pool fed by a bounded MPMC queue (backpressure: submit blocks when the
 // queue is full); each worker keeps a labeler instance plus a reusable
 // ScratchArena, so the steady state labels images allocation-free through
-// Labeler::label_into. Results are bit-identical to calling label()
+// Labeler::run. Results are bit-identical to calling run()/label()
 // directly — the engine changes scheduling and memory reuse, never output
 // (tests/test_engine.cpp asserts this per algorithm).
 //
+// The single entry point is submit(LabelRequest) — the same request shape
+// Labeler::run executes (core/request.hpp). Every historical submit
+// variant (owned images, borrowed views, with-stats, batches, sharded) is
+// a thin wrapper that builds a request and a result-shape adapter around
+// the one job path. The sharded huge-image pipeline is selected by
+// request.shard.
+//
 // Lifecycle: constructor spawns the workers; shutdown() (or destruction)
 // closes the queue, drains every already-accepted job, and joins — every
-// future obtained from submit() is guaranteed to become ready. See
-// DESIGN.md §4 for the architecture discussion.
+// future obtained from any submit is guaranteed to become ready. See
+// DESIGN.md §4/§7 for the architecture discussion.
 //
 //   LabelingEngine eng({.workers = 8});
-//   auto fut = eng.submit(std::move(image));
-//   LabelingResult r = fut.get();
+//   auto fut = eng.submit(LabelRequest{.input = image});   // borrows image
+//   LabelResponse r = fut.get();
 //   eng.recycle(std::move(r.labels));   // optional: keep arenas warm
 #pragma once
 
@@ -35,6 +42,7 @@
 #include "analysis/feature_accumulator.hpp"
 #include "core/labeling.hpp"
 #include "core/registry.hpp"
+#include "core/request.hpp"
 #include "engine/engine_stats.hpp"
 #include "engine/job_queue.hpp"
 #include "engine/scratch_arena.hpp"
@@ -54,7 +62,9 @@ struct EngineConfig {
   /// small image. Pick Algorithm::Paremsp with labeler.threads > 1 when
   /// the stream contains large images.
   Algorithm algorithm = Algorithm::Aremsp;
-  /// Options forwarded to make_labeler for each worker's instance.
+  /// Options forwarded to make_labeler for each worker's instance. Its
+  /// connectivity is the per-worker default; a LabelRequest may override
+  /// connectivity per job.
   LabelerOptions labeler;
 };
 
@@ -70,9 +80,26 @@ class LabelingEngine {
   LabelingEngine(const LabelingEngine&) = delete;
   LabelingEngine& operator=(const LabelingEngine&) = delete;
 
-  /// Enqueue one image; the future yields the same LabelingResult a direct
-  /// Labeler::label call would produce. Blocks while the queue is full;
-  /// throws PreconditionError after shutdown().
+  /// THE entry point: enqueue one labeling request; the future yields the
+  /// same LabelResponse a direct Labeler::run(request) would produce.
+  ///
+  /// The request BORROWS its views: keep `request.input`'s storage (and
+  /// `label_out`'s, if set) alive and unmodified until the future is
+  /// ready. With request.shard set, the image is labeled through the
+  /// sharded tile pipeline across the whole worker pool (one huge image)
+  /// instead of as a single worker job; the future only becomes ready
+  /// once that pipeline has quiesced, so a ready future always means no
+  /// worker still reads the borrowed storage. Blocks while the queue is
+  /// full (backpressure); throws PreconditionError after shutdown().
+  [[nodiscard]] std::future<LabelResponse> submit(LabelRequest request);
+
+  // --- Legacy entry points ---------------------------------------------------
+  // Wrappers over submit(LabelRequest): each builds the equivalent
+  // request plus a result-shape adapter. Same queueing/backpressure/
+  // borrow contracts as the request they build.
+
+  /// Owning submit: the engine keeps `image` alive inside the job, so the
+  /// caller may fire and forget.
   [[nodiscard]] std::future<LabelingResult> submit(BinaryImage image);
 
   /// Zero-copy submit: the engine only borrows `image`, so the caller must
@@ -81,13 +108,10 @@ class LabelingEngine {
   [[nodiscard]] std::future<LabelingResult> submit_view(
       const BinaryImage& image);
 
-  /// Enqueue one image for combined labeling + component analysis
-  /// (Labeler::label_with_stats through the worker's warm arena). For
-  /// fused-stats algorithms (AlgorithmInfo::fused_stats) the features
-  /// accumulate inside the labeling scan — the worker never re-reads the
-  /// label plane; everything else runs the post-pass fallback with
-  /// value-identical results. Same queueing/backpressure contract as
-  /// submit().
+  /// Owning submit of a combined labeling + component-analysis request
+  /// (request.outputs.stats). For fused-stats algorithms
+  /// (AlgorithmInfo::fused_stats) the features accumulate inside the
+  /// labeling scan — the worker never re-reads the label plane.
   [[nodiscard]] std::future<LabelingWithStats> submit_with_stats(
       BinaryImage image);
 
@@ -100,15 +124,13 @@ class LabelingEngine {
       std::vector<BinaryImage> images);
 
   /// Label ONE huge image by sharding it into a tile grid across the
-  /// worker pool (engine/sharded_labeler.hpp has the phase diagram). The
-  /// engine borrows `image`: keep it alive and unmodified until the future
-  /// is ready — the future only becomes ready once the whole pipeline has
-  /// quiesced (success or failure), so a ready future means no worker
-  /// still reads the image. The result is bit-identical to sequential
-  /// AREMSP for every tile geometry and worker count. If the engine shuts
-  /// down mid-shard, the future carries a PreconditionError. Call from
-  /// producer threads only (not from inside engine jobs): the initial tile
-  /// fan-out takes the bounded, backpressured queue path.
+  /// worker pool (equivalent to submit() with request.shard = options;
+  /// engine/sharded_labeler.hpp has the phase diagram). Borrows `image`
+  /// until the future is ready; bit-identical to sequential AREMSP for
+  /// every tile geometry and worker count. If the engine shuts down
+  /// mid-shard, the future carries a PreconditionError. Call from
+  /// producer threads only (not from inside engine jobs): the initial
+  /// tile fan-out takes the bounded, backpressured queue path.
   [[nodiscard]] std::future<LabelingResult> submit_sharded(
       const BinaryImage& image, const ShardOptions& options = {});
 
@@ -116,12 +138,13 @@ class LabelingEngine {
   [[nodiscard]] LabelingResult label_sharded(const BinaryImage& image,
                                              const ShardOptions& options = {});
 
-  /// Sharded labeling + fused component analysis: the tile scan jobs
-  /// accumulate features into disjoint per-tile cell ranges, the seam-merge
-  /// jobs decide (through the shared union-find, under the same completion
-  /// latches) which cells belong together, and the resolve job reduces
-  /// them — stats for a huge image without any worker re-reading pixels.
-  /// Same borrow/quiesce/failure contract as submit_sharded.
+  /// Sharded labeling + fused component analysis (request.shard +
+  /// request.outputs.stats): the tile scan jobs accumulate features into
+  /// disjoint per-tile cell ranges, the seam-merge jobs decide (through
+  /// the shared union-find) which cells belong together, and the resolve
+  /// job reduces them — stats for a huge image without any worker
+  /// re-reading pixels. Same borrow/quiesce/failure contract as
+  /// submit_sharded.
   [[nodiscard]] std::future<LabelingWithStats> submit_sharded_with_stats(
       const BinaryImage& image, const ShardOptions& options = {});
 
@@ -150,33 +173,46 @@ class LabelingEngine {
  private:
   friend class ShardedRun;  // sharded_labeler.cpp: pushes phase jobs
 
+  /// How a finished request leaves the engine: exactly one invocation per
+  /// accepted job, with either the error or the response. The legacy
+  /// wrappers close over a promise of their historical result shape here
+  /// — this one hook is what collapsed the parallel promise plumbing
+  /// (separate LabelingResult/LabelingWithStats promises per Job).
+  using Deliver = std::function<void(std::exception_ptr, LabelResponse&&)>;
+
+  /// The ONE job shape: a request plus optional owned backing pixels plus
+  /// the delivery hook (or, for sharded phase continuations, a task).
   struct Job {
-    BinaryImage owned;  // the image, unless borrowed
-    const BinaryImage* borrowed = nullptr;  // caller-kept (submit_view)
-    std::promise<LabelingResult> promise;
-    // submit_with_stats jobs fulfill this promise instead of `promise`;
-    // its presence IS the with-stats discriminant (no separate flag to
-    // desync). Lazily emplaced by enqueue_with_stats only: a promise's
-    // shared state is a heap allocation, and the vast majority of jobs
-    // (plain submits, every sharded phase task) never use this one.
-    std::optional<std::promise<LabelingWithStats>> stats_promise;
+    LabelRequest request;  // input may view `owned` or caller storage
+    // Backing storage when the caller handed ownership (submit(BinaryImage)).
+    // request.input views its heap buffer, which is stable as the Job
+    // moves through the queue (vector moves transfer the buffer).
+    BinaryImage owned;
+    Deliver deliver;  // null for task jobs
     EngineStats::Clock::time_point submitted_at{};
     // Generic engine task (sharded phase jobs): when set, the worker runs
     // it with its arena instead of the labeling path. Tasks own their
-    // error handling; the promises above are unused.
+    // error handling; `deliver` is unused.
     std::function<void(ScratchArena&)> task;
-
-    // Jobs move through the queue, so the owned image must be reached
-    // through the job's current location, never a stored self-pointer.
-    [[nodiscard]] const BinaryImage& image() const noexcept {
-      return borrowed != nullptr ? *borrowed : owned;
-    }
   };
 
-  [[nodiscard]] std::future<LabelingResult> enqueue(Job job);
-  [[nodiscard]] std::future<LabelingWithStats> enqueue_with_stats(Job job);
-  /// Shared submission protocol of the enqueue variants: record, push,
-  /// undo the record and throw if the queue is already closed.
+  /// Shared wrapper body: a promise of the legacy `Result` shape whose
+  /// delivery runs `adapt` over the LabelResponse, submitted through the
+  /// one request path. Every public submit differs only in the request it
+  /// builds and the adapter it names (defined in engine.cpp; used only
+  /// there).
+  template <class Result, class Adapt>
+  [[nodiscard]] std::future<Result> submit_as(LabelRequest request,
+                                              BinaryImage owned, Adapt adapt);
+
+  /// Shared submission protocol of every submit wrapper: route sharded
+  /// requests to the tile pipeline, everything else into the bounded
+  /// queue (record, push, undo the record and throw if already closed).
+  void submit_request(LabelRequest request, BinaryImage owned,
+                      Deliver deliver);
+  /// Start the sharded pipeline for a request with request.shard set
+  /// (validates options/connectivity on the submitting thread).
+  void start_sharded(LabelRequest request, Deliver deliver);
   void push_job(Job job);
   /// Enqueue a generic task. Bounded (backpressured) pushes are for
   /// producer threads; workers spawning continuations must pass

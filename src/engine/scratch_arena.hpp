@@ -38,7 +38,7 @@ class ScratchArena {
   ScratchArena(const ScratchArena&) = delete;
   ScratchArena& operator=(const ScratchArena&) = delete;
 
-  /// The workspace handed to Labeler::label_into. Worker thread only.
+  /// The workspace handed to Labeler::run. Worker thread only.
   [[nodiscard]] LabelScratch& scratch() noexcept { return scratch_; }
 
   /// Feed a client-returned label plane back into the workspace so the
@@ -47,7 +47,7 @@ class ScratchArena {
     scratch_.recycle_plane(std::move(plane));
   }
 
-  /// Record one served job (worker thread, after label_into returns).
+  /// Record one served job (worker thread, after the run returns).
   void note_job(std::int64_t pixels) noexcept {
     jobs_.fetch_add(1, std::memory_order_relaxed);
     pixels_.fetch_add(pixels, std::memory_order_relaxed);

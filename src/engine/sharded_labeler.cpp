@@ -1,20 +1,21 @@
-// Implementation of LabelingEngine::submit_sharded / label_sharded — the
-// sharded huge-image dataflow described in sharded_labeler.hpp.
+// Implementation of the engine's sharded request path — the huge-image
+// dataflow described in sharded_labeler.hpp, selected by
+// LabelRequest::shard.
 //
 // One ShardedRun object (shared_ptr-held by every job closure) carries the
-// whole pipeline: the borrowed image, the shared label plane, the global
-// union-find parent array, the tile grid, and a reusable completion latch.
-// Each phase fans out jobs; the worker that brings the latch to zero
-// advances the pipeline. No thread ever waits on another: fan-in is a
-// fetch_sub, and the acquire/release ordering on that counter is what
-// publishes one phase's writes to the next (the role the OpenMP barrier
-// plays in the in-process TiledParemspLabeler).
+// whole pipeline: the borrowed request (input view, outputs, label_out),
+// the shared label plane, the global union-find parent array, the tile
+// grid, and a reusable completion latch. Each phase fans out jobs; the
+// worker that brings the latch to zero advances the pipeline. No thread
+// ever waits on another: fan-in is a fetch_sub, and the acquire/release
+// ordering on that counter is what publishes one phase's writes to the
+// next (the role the OpenMP barrier plays in the in-process
+// TiledParemspLabeler).
 #include "engine/sharded_labeler.hpp"
 
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <future>
 #include <memory>
 #include <type_traits>
 #include <utility>
@@ -22,6 +23,7 @@
 
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
+#include "core/registry.hpp"
 #include "core/tiled_phases.hpp"
 #include "engine/engine.hpp"
 #include "unionfind/parallel_rem.hpp"
@@ -33,46 +35,42 @@ namespace paremsp::engine {
 /// whichever worker decrements the phase latch to zero.
 class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
  public:
-  ShardedRun(LabelingEngine& engine, const BinaryImage& image,
-             const ShardOptions& options)
-      : engine_(engine), image_(image), options_(options) {
+  ShardedRun(LabelingEngine& engine, LabelRequest request,
+             LabelingEngine::Deliver deliver)
+      : engine_(engine),
+        request_(std::move(request)),
+        options_(*request_.shard),
+        deliver_(std::move(deliver)) {
     if (options_.merge_backend == MergeBackend::LockedRem) {
       locks_ = std::make_unique<uf::LockPool>(options_.lock_bits);
     }
   }
 
   /// Fan out the Phase-I scan jobs (bounded pushes: this runs on the
-  /// submitting thread, where backpressure belongs). Returns the future.
-  std::future<LabelingResult> start() {
-    std::future<LabelingResult> future = promise_.get_future();
-    launch();
-    return future;
-  }
-
-  /// start() for the stats-carrying pipeline: identical dataflow, but the
-  /// scan jobs also accumulate per-tile feature cells, the resolve job
-  /// reduces them, and the future yields LabelingWithStats.
-  std::future<LabelingWithStats> start_with_stats() {
-    with_stats_ = true;
-    std::future<LabelingWithStats> future = stats_promise_.get_future();
-    launch();
-    return future;
-  }
+  /// submitting thread, where backpressure belongs).
+  void start() { launch(); }
 
  private:
+  [[nodiscard]] ConstImageView image() const noexcept {
+    return request_.input;
+  }
+  [[nodiscard]] bool with_stats() const noexcept {
+    return request_.outputs.stats;
+  }
+
   void launch() {
     result_.labels = engine_.take_recycled_plane();
-    result_.labels.resize_for_overwrite(image_.rows(), image_.cols());
-    if (image_.size() == 0) {
-      fulfill_success();
+    result_.labels.resize_for_overwrite(image().rows(), image().cols());
+    if (image().size() == 0) {
+      deliver();
       return;
     }
 
-    parents_size_ = static_cast<std::size_t>(image_.size()) + 1;
+    parents_size_ = static_cast<std::size_t>(image().size()) + 1;
     parents_ = engine_.take_shard_buffer(parents_size_);
-    if (with_stats_) cells_ = engine_.take_shard_cells(parents_size_);
-    tiles_ = make_tile_grid(image_.rows(), image_.cols(), options_.tile_rows,
-                            options_.tile_cols);
+    if (with_stats()) cells_ = engine_.take_shard_cells(parents_size_);
+    tiles_ = make_tile_grid(image().rows(), image().cols(),
+                            options_.tile_rows, options_.tile_cols);
 
     // Initial fan-out takes the bounded, backpressured queue path — this
     // runs on the submitting thread, where blocking is the contract.
@@ -93,10 +91,10 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
         // The fused variant writes feature cells only in this tile's label
         // range, so concurrent scan jobs share cells_ race-free.
         tile.used =
-            with_stats_
-                ? scan_tile(image_, result_.labels, parents, tile,
+            with_stats()
+                ? scan_tile(image(), result_.labels, parents, tile,
                             {cells_.data.get(), parents_size_})
-                : scan_tile(image_, result_.labels, parents, tile);
+                : scan_tile(image(), result_.labels, parents, tile);
       } catch (...) {
         fail(std::current_exception());
       }
@@ -173,7 +171,7 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
         result_.num_components = resolve_final_labels(
             {parents_.data.get(), parents_size_}, tiles_, result_.labels,
             {remap_.data.get(), remap_size});
-        if (with_stats_) {
+        if (with_stats()) {
           // The seam-merge jobs' unions are resolved in the parent table
           // now, so this fold merges accumulators exactly where labels
           // were unified. O(labels issued) — the label plane itself is
@@ -200,7 +198,7 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     // --- Phase IV: parallel rewrite over row bands --------------------------
     const std::size_t bands = std::min<std::size_t>(
         static_cast<std::size_t>(engine_.workers()),
-        static_cast<std::size_t>(image_.rows()));
+        static_cast<std::size_t>(image().rows()));
     rewrite_bands_ = bands;
     fan_out(bands, [](const std::shared_ptr<ShardedRun>& self,
                       std::size_t band) { self->run_rewrite(band); });
@@ -208,7 +206,8 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
 
   void run_rewrite(std::size_t band) {
     if (!failed_.load(std::memory_order_acquire)) {
-      const Coord rows = image_.rows();
+      const Coord rows = image().rows();
+      const Coord cols = image().cols();
       const Coord row_begin = static_cast<Coord>(
           static_cast<std::int64_t>(rows) * static_cast<std::int64_t>(band) /
           static_cast<std::int64_t>(rewrite_bands_));
@@ -217,10 +216,25 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
           static_cast<std::int64_t>(band + 1) /
           static_cast<std::int64_t>(rewrite_bands_));
       const Label* p = parents_.data.get();
-      for (Coord r = row_begin; r < row_end; ++r) {
-        Label* row = result_.labels.row(r);
-        for (Coord c = 0; c < image_.cols(); ++c) {
-          if (row[c] != 0) row[c] = p[row[c]];
+      if (request_.label_out.has_value()) {
+        // Rewrite straight into the caller's (possibly strided) buffer:
+        // the parallel bands ARE the delivery, so label_out costs no
+        // extra serial pass over an image-sized plane. Bands are
+        // disjoint row ranges, hence race-free on the shared view.
+        const MutableImageView out = *request_.label_out;
+        for (Coord r = row_begin; r < row_end; ++r) {
+          const Label* src = result_.labels.row(r);
+          Label* dst = out.row(r);
+          for (Coord c = 0; c < cols; ++c) {
+            dst[c] = src[c] != 0 ? p[src[c]] : 0;
+          }
+        }
+      } else {
+        for (Coord r = row_begin; r < row_end; ++r) {
+          Label* row = result_.labels.row(r);
+          for (Coord c = 0; c < cols; ++c) {
+            if (row[c] != 0) row[c] = p[row[c]];
+          }
         }
       }
     }
@@ -229,8 +243,9 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
 
   /// Terminal step, reached exactly once per run, only after every job of
   /// every phase has drained — which is what lets the engine promise that
-  /// a ready future means no worker still reads the borrowed image, on
-  /// the failure path included.
+  /// a ready future means no worker still reads the borrowed input (and
+  /// no worker still writes label_out), on the failure path included.
+  /// Routes the outputs per the request, exactly like Labeler::run.
   void deliver() {
     result_.timings.relabel_ms =
         timer_.elapsed_ms() - result_.timings.scan_ms -
@@ -243,27 +258,26 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     engine_.return_shard_buffer(std::move(remap_));
     engine_.return_shard_cells(std::move(cells_));
     if (failed_.load(std::memory_order_acquire)) {
-      if (with_stats_) {
-        stats_promise_.set_exception(error_);
-      } else {
-        promise_.set_exception(error_);
-      }
+      deliver_(error_, LabelResponse{});
       return;
     }
-    fulfill_success();
-  }
-
-  /// Fulfill whichever promise this run carries. Count before fulfilling:
-  /// a caller returning from future.get() must already observe the
-  /// completion in stats().
-  void fulfill_success() {
+    // Count before fulfilling: a caller returning from future.get() must
+    // already observe the completion in stats().
     engine_.shards_completed_.fetch_add(1, std::memory_order_relaxed);
-    if (with_stats_) {
-      stats_promise_.set_value(
-          LabelingWithStats{std::move(result_), std::move(stats_)});
+    LabelResponse response;
+    response.num_components = result_.num_components;
+    response.timings = result_.timings;
+    if (with_stats()) response.stats = std::move(stats_);
+    if (request_.label_out.has_value()) {
+      // Final labels already landed in label_out during the rewrite
+      // bands; the working plane only holds dead provisional labels.
+      engine_.recycle(std::move(result_.labels));
+    } else if (request_.outputs.labels) {
+      response.labels = std::move(result_.labels);
     } else {
-      promise_.set_value(std::move(result_));
+      engine_.recycle(std::move(result_.labels));
     }
+    deliver_(nullptr, std::move(response));
   }
 
   // --- Fan-out / fan-in machinery -------------------------------------------
@@ -326,13 +340,13 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     }
   }
 
-  /// Record the first error. The promise is NOT failed here: it is only
-  /// fulfilled in deliver(), after every latch drains, so a ready future
-  /// always means the run has quiesced (no job still reads the borrowed
-  /// image or the shared plane). The claim flag serializes the winner;
-  /// error_ is fully written before the release store to failed_, and
-  /// every path into deliver() acquire-loads failed_ (directly or through
-  /// the latch), so the error is visible wherever it is rethrown.
+  /// Record the first error. Delivery does NOT happen here: deliver() runs
+  /// only after every latch drains, so a ready future always means the run
+  /// has quiesced (no job still reads the borrowed input or the shared
+  /// plane). The claim flag serializes the winner; error_ is fully written
+  /// before the release store to failed_, and every path into deliver()
+  /// acquire-loads failed_ (directly or through the latch), so the error
+  /// is visible wherever it is reported.
   void fail(std::exception_ptr error) noexcept {
     if (error_claimed_.exchange(true, std::memory_order_relaxed)) return;
     error_ = std::move(error);
@@ -345,22 +359,20 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   }
 
   LabelingEngine& engine_;
-  const BinaryImage& image_;
+  const LabelRequest request_;  // borrowed views; shard engaged
   const ShardOptions options_;
+  LabelingEngine::Deliver deliver_;
   std::unique_ptr<uf::LockPool> locks_;
 
   LabelingResult result_;
-  analysis::ComponentStats stats_;       // fused features (with_stats_)
+  analysis::ComponentStats stats_;       // fused features (outputs.stats)
   LabelingEngine::ShardBuffer parents_;  // global union-find parents
   std::size_t parents_size_ = 0;         // image.size() + 1
   LabelingEngine::ShardBuffer remap_;    // renumber table (Phase III)
-  LabelingEngine::ShardCellBuffer cells_;  // feature cells (with_stats_)
+  LabelingEngine::ShardCellBuffer cells_;  // feature cells (outputs.stats)
   std::vector<TileSpec> tiles_;
   std::size_t rewrite_bands_ = 1;
-  bool with_stats_ = false;
 
-  std::promise<LabelingResult> promise_;
-  std::promise<LabelingWithStats> stats_promise_;
   std::atomic<std::int64_t> remaining_{0};
   std::atomic<bool> error_claimed_{false};
   std::atomic<bool> failed_{false};
@@ -368,40 +380,23 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   WallTimer timer_;
 };
 
-namespace {
-
-void require_valid(const ShardOptions& options) {
+void LabelingEngine::start_sharded(LabelRequest request, Deliver deliver) {
+  const ShardOptions& options = *request.shard;
   PAREMSP_REQUIRE(options.tile_rows >= 1 && options.tile_cols >= 1,
                   "shard tiles must be at least 1x1");
   PAREMSP_REQUIRE(options.lock_bits >= 0 && options.lock_bits <= 24,
                   "lock_bits out of range");
-}
-
-}  // namespace
-
-std::future<LabelingResult> LabelingEngine::submit_sharded(
-    const BinaryImage& image, const ShardOptions& options) {
-  require_valid(options);
+  // Shared request gate: the effective connectivity defaults exactly like
+  // the worker path (request override, else the engine's configured
+  // labeler default). The sharded pipeline IS tiled AREMSP, so anything
+  // but 8 is rejected with the registry's uniform error — never silently
+  // relabeled under a different connectivity than the unsharded request
+  // would use.
+  (void)validate_request(request, Algorithm::ParemspTiled,
+                         config_.labeler.connectivity);
   shards_submitted_.fetch_add(1, std::memory_order_relaxed);
-  return std::make_shared<ShardedRun>(*this, image, options)->start();
-}
-
-LabelingResult LabelingEngine::label_sharded(const BinaryImage& image,
-                                             const ShardOptions& options) {
-  return submit_sharded(image, options).get();
-}
-
-std::future<LabelingWithStats> LabelingEngine::submit_sharded_with_stats(
-    const BinaryImage& image, const ShardOptions& options) {
-  require_valid(options);
-  shards_submitted_.fetch_add(1, std::memory_order_relaxed);
-  return std::make_shared<ShardedRun>(*this, image, options)
-      ->start_with_stats();
-}
-
-LabelingWithStats LabelingEngine::label_sharded_with_stats(
-    const BinaryImage& image, const ShardOptions& options) {
-  return submit_sharded_with_stats(image, options).get();
+  std::make_shared<ShardedRun>(*this, std::move(request), std::move(deliver))
+      ->start();
 }
 
 }  // namespace paremsp::engine

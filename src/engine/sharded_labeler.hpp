@@ -5,14 +5,14 @@
 // decomposed into a grid of tiles (core/tiled_phases.hpp) and labeled as a
 // dataflow of engine jobs:
 //
-//   submit_sharded ──► scan job per tile ──┐ (completion latch)
-//                                          ▼
+//   submit(request with .shard) ──► scan job per tile ──┐ (completion latch)
+//                                                       ▼
 //                      seam-merge job per tile (parallel REM, Algorithm 8)
 //                                          │ (completion latch)
 //                                          ▼
 //                      FLATTEN + canonical renumber (one worker)
 //                                          │
-//                      rewrite job per row band ──► promise.set_value
+//                      rewrite job per row band ──► deliver(LabelResponse)
 //
 // Fan-in uses a per-phase completion latch on the shared run state rather
 // than one future per tile job: the worker that decrements the latch to
@@ -26,37 +26,22 @@
 // Output is bit-identical to sequential AREMSP for every tile geometry and
 // worker count — the canonical scan-order first-appearance renumber inside
 // resolve_final_labels restores the sequential numbering that 2-D label
-// bases permute (DESIGN.md §5).
+// bases permute (DESIGN.md §5). The pipeline reads the request's input
+// through its ConstImageView — a strided ROI shards zero-copy exactly like
+// a packed raster — and honors the request's OutputSet and label_out like
+// any other request: stats requests thread per-tile feature cells through
+// the same latch fan-out (DESIGN.md §6), and the resolve job reduces them.
 //
-// The stats-carrying variant (submit_sharded_with_stats /
-// label_sharded_with_stats) runs the SAME dataflow with fused component
-// analysis threaded through it (DESIGN.md §6): scan jobs accumulate
-// per-provisional-label feature cells into disjoint ranges of one shared
-// array, the seam-merge jobs unify components through the union-find
-// without touching cells, and the resolve job folds the cells through the
-// resolved parents — per-component area/bbox/centroid for a huge image
-// with no extra pass over its pixels, value-identical to the post-pass
-// compute_stats oracle.
+// `ShardOptions` itself lives in core/request.hpp (it is a LabelRequest
+// field); paremsp::engine code keeps naming it engine::ShardOptions.
 #pragma once
 
-#include "core/paremsp.hpp"  // MergeBackend
-#include "image/raster.hpp"
-#include "unionfind/lock_pool.hpp"
+#include "core/request.hpp"
 
 namespace paremsp::engine {
 
-/// Tuning knobs for LabelingEngine::submit_sharded / label_sharded.
-struct ShardOptions {
-  /// Tile height in rows; any value >= 1 (oversize clamps to the image).
-  Coord tile_rows = 512;
-  /// Tile width in columns. Minimum 1.
-  Coord tile_cols = 512;
-  /// Seam-merge backend (shared with PAREMSP). Sequential runs every seam
-  /// in one job — the ablation lower bound — since rem_unite must not run
-  /// concurrently; the parallel backends get one merge job per tile.
-  MergeBackend merge_backend = MergeBackend::LockedRem;
-  /// log2 of the striped lock-pool size (LockedRem only).
-  int lock_bits = uf::LockPool::kDefaultBits;
-};
+/// Tuning knobs for sharded requests (LabelRequest::shard); re-exported
+/// for the engine-facing spelling `engine::ShardOptions`.
+using ShardOptions = ::paremsp::ShardOptions;
 
 }  // namespace paremsp::engine

@@ -1,0 +1,28 @@
+#include "image/view.hpp"
+
+#include <cstring>
+
+namespace paremsp {
+
+void copy_labels(const LabelImage& src, MutableImageView dst) {
+  PAREMSP_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
+                  "copy_labels requires identical dimensions");
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(src.cols()) * sizeof(Label);
+  if (row_bytes == 0) return;
+  for (Coord r = 0; r < src.rows(); ++r) {
+    std::memcpy(dst.row(r), src.row(r), row_bytes);
+  }
+}
+
+BinaryImage materialize(ConstImageView view) {
+  BinaryImage image(view.rows(), view.cols());
+  const std::size_t row_bytes = static_cast<std::size_t>(view.cols());
+  if (row_bytes == 0) return image;
+  for (Coord r = 0; r < view.rows(); ++r) {
+    std::memcpy(image.row(r), view.row(r), row_bytes);
+  }
+  return image;
+}
+
+}  // namespace paremsp

@@ -9,6 +9,7 @@
 #include "common/contracts.hpp"
 #include "core/aremsp.hpp"
 #include "core/registry.hpp"
+#include "core/request.hpp"
 
 namespace paremsp {
 namespace {
@@ -110,12 +111,33 @@ TEST(Registry, SupportsIsTheSingleSourceOfTruth) {
 }
 
 TEST(Registry, DirectConstructionRejectsLikeTheFactory) {
-  // The two-line-scan labelers consult the registry from their own
-  // constructors, so direct construction and make_labeler reject an
-  // unsupported connectivity with the same PreconditionError.
+  // Every labeler validates through the shared Labeler base, so direct
+  // construction and make_labeler reject an unsupported connectivity with
+  // the same PreconditionError.
   EXPECT_THROW(AremspLabeler{Connectivity::Four}, PreconditionError);
   EXPECT_THROW(ArunLabeler{Connectivity::Four}, PreconditionError);
   EXPECT_THROW(RunLabeler{Connectivity::Four}, PreconditionError);
+}
+
+TEST(Registry, PerRequestConnectivityGatesLikeConstruction) {
+  // LabelerOptions.connectivity is only the DEFAULT: a LabelRequest may
+  // override it per call, and the override passes through the same
+  // require_supported gate — catalog-driven, uniform PreconditionError.
+  const BinaryImage image(6, 6, 1);
+  for (const auto& info : algorithm_catalog()) {
+    const auto labeler = make_labeler(info.id);  // 8-connectivity default
+    EXPECT_EQ(labeler->default_connectivity(), Connectivity::Eight);
+    EXPECT_EQ(labeler->algorithm(), info.id);
+    LabelRequest request;
+    request.input = image;
+    request.connectivity = Connectivity::Four;
+    if (info.supports_four_connectivity) {
+      EXPECT_NO_THROW((void)labeler->run(request)) << info.name;
+    } else {
+      EXPECT_THROW((void)labeler->run(request), PreconditionError)
+          << info.name;
+    }
+  }
 }
 
 }  // namespace
