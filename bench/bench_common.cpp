@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <thread>
 
@@ -10,6 +11,18 @@
 #include "image/generators.hpp"
 
 namespace paremsp::bench {
+
+std::string artifact_path(const std::string& filename) {
+  if (const char* dir = std::getenv("PAREMSP_BENCH_DIR");
+      dir != nullptr && *dir != '\0') {
+    return std::string(dir) + "/" + filename;
+  }
+#ifdef PAREMSP_SOURCE_DIR
+  return std::string(PAREMSP_SOURCE_DIR) + "/" + filename;
+#else
+  return filename;
+#endif
+}
 
 double bench_scale() {
   const double s = env_double("PAREMSP_BENCH_SCALE", 1.0);

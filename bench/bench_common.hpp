@@ -47,6 +47,14 @@ double bench_scale();
 int bench_reps();
 int bench_max_threads();
 
+/// Where a bench trajectory JSON (BENCH_*.json) belongs: the directory
+/// named by PAREMSP_BENCH_DIR when set, else the repository root (baked
+/// in at configure time), else the current directory. Keeps the canonical
+/// artifacts at the repo root no matter which build tree the bench runs
+/// from — running ./build/bench_* and cd build && ./bench_* write the
+/// same file.
+std::string artifact_path(const std::string& filename);
+
 /// Print the standard header (environment, scale, reps) for a bench binary.
 void print_banner(const std::string& title);
 

@@ -223,7 +223,7 @@ int main() {
   }
 
   std::cout << table.to_string() << "\n";
-  write_json("BENCH_cca.json", side, side, components, runs);
+  write_json(artifact_path("BENCH_cca.json"), side, side, components, runs);
 
   bool all_faster = true;
   for (const CcaRecord& r : runs) all_faster = all_faster && r.speedup() > 1.0;

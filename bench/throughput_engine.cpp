@@ -297,7 +297,8 @@ int main() {
     if (api_ratio < 0.90) ++failures;
   }
 
-  write_api_json("BENCH_engine_api.json", jobs, threads, api_records);
+  write_api_json(artifact_path("BENCH_engine_api.json"), jobs, threads,
+                 api_records);
 
   if (failures > 0) {
     std::cerr << failures << " correctness check(s) failed\n";

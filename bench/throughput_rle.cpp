@@ -1,0 +1,249 @@
+// Run-based scan throughput: the rle algorithms (bit-packed row encoding
+// + run merging, core/runs.hpp) against their pixel-scan twins across a
+// foreground-density sweep, plus the engine's sharded ShardScan::Runs
+// pipeline against the pixel shards.
+//
+// Both sides of every pair run label_into on one warm LabelScratch
+// (best-of-reps), so the measured difference is the scan layer itself.
+// Before timing, every rle result is verified BIT-IDENTICAL to its pixel
+// twin; the process exits nonzero on any mismatch.
+//
+// Gate: at the LOWEST density the run path must not lose to the pixel
+// path (speedup >= 1.0x) — sparse imagery is where run extraction
+// overhead could in principle exceed its savings, so that is the guard.
+// Stretch target (reported, not enforced): >= 1.3x on every density
+// >= 0.5, where long runs amortize one union per overlapping pair
+// against thousands of per-pixel branches.
+//
+// Besides the table, writes BENCH_rle.json (repo root via artifact_path):
+//
+//   { "bench": "throughput_rle",
+//     "image": {"rows": R, "cols": C, "mpx": ...},
+//     "runs": [ { "pair": "aremsp", "density": 0.05,
+//                 "pixel_mpx_per_s": ..., "rle_mpx_per_s": ...,
+//                 "speedup_rle": ..., "reps": K }, ... ],
+//     "guard_low_density_ge_1x": true,
+//     "stretch_dense_ge_1p3x": true }
+//
+// Knobs: PAREMSP_BENCH_SCALE scales the image linearly (default 1.0 =
+// 1280x1280), PAREMSP_BENCH_REPS, PAREMSP_BENCH_MAX_THREADS.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/env.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/aremsp.hpp"
+#include "core/label_scratch.hpp"
+#include "core/paremsp.hpp"
+#include "core/paremsp_tiled.hpp"
+#include "core/rle_labelers.hpp"
+#include "engine/engine.hpp"
+#include "image/generators.hpp"
+
+namespace {
+
+using namespace paremsp;
+using namespace paremsp::bench;
+
+struct RleRecord {
+  std::string pair;
+  double density = 0.0;
+  double pixel_mpx = 0.0;
+  double rle_mpx = 0.0;
+  int reps = 0;
+  [[nodiscard]] double speedup() const {
+    return pixel_mpx > 0 ? rle_mpx / pixel_mpx : 0.0;
+  }
+};
+
+template <class Fn>
+double best_ms(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const WallTimer timer;
+    fn();
+    const double ms = timer.elapsed_ms();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void write_json(const std::string& path, Coord rows, Coord cols,
+                const std::vector<RleRecord>& runs, bool guard_ok,
+                bool stretch_ok) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"throughput_rle\",\n"
+               "  \"image\": {\"rows\": %lld, \"cols\": %lld, "
+               "\"mpx\": %.3f},\n  \"runs\": [\n",
+               static_cast<long long>(rows), static_cast<long long>(cols),
+               static_cast<double>(rows) * cols / 1e6);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RleRecord& r = runs[i];
+    std::fprintf(f,
+                 "    {\"pair\": \"%s\", \"density\": %.2f, "
+                 "\"pixel_mpx_per_s\": %.3f, \"rle_mpx_per_s\": %.3f, "
+                 "\"speedup_rle\": %.3f, \"reps\": %d}%s\n",
+                 r.pair.c_str(), r.density, r.pixel_mpx, r.rle_mpx,
+                 r.speedup(), r.reps, i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"guard_low_density_ge_1x\": %s,\n"
+               "  \"stretch_dense_ge_1p3x\": %s\n}\n",
+               guard_ok ? "true" : "false", stretch_ok ? "true" : "false");
+  std::fclose(f);
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Run-based scan layer: rle algorithms vs pixel-scan twins");
+
+  const double scale = bench_scale();
+  const Coord side = std::max<Coord>(
+      64, static_cast<Coord>(1280.0 * std::sqrt(std::max(scale, 1e-3))));
+  const int reps = std::max(1, bench_reps());
+  const int threads = std::min(hardware_threads(), bench_max_threads());
+  const double mpx = static_cast<double>(side) * side / 1e6;
+  const std::vector<double> densities = {0.05, 0.25, 0.5, 0.8};
+
+  std::cout << "image: " << side << "x" << side << " uniform noise per "
+            << "density, best of " << reps << " rep(s), " << threads
+            << " thread(s)\n\n";
+
+  int failures = 0;
+  std::vector<RleRecord> runs;
+  TextTable table("pixel-scan vs run-scan throughput (label, warm scratch)");
+  table.set_header(
+      {"pair", "density", "pixel Mpx/s", "rle Mpx/s", "rle speedup"});
+
+  const auto compare = [&](const std::string& pair, double density,
+                           const BinaryImage& image, const Labeler& pixel,
+                           const Labeler& rle) {
+    LabelScratch pixel_scratch;
+    LabelScratch rle_scratch;
+    // Verification + warmup in one: the rle twin must be bit-identical.
+    const LabelingResult want = pixel.label_into(image, pixel_scratch);
+    const LabelingResult got = rle.label_into(image, rle_scratch);
+    if (got.num_components != want.num_components ||
+        got.labels != want.labels) {
+      std::cerr << "MISMATCH: " << rle.name() << " differs from "
+                << pixel.name() << " at density " << density << "\n";
+      ++failures;
+      return;
+    }
+    const double pixel_ms = best_ms(reps, [&] {
+      (void)pixel.label_into(image, pixel_scratch);
+    });
+    const double rle_ms = best_ms(reps, [&] {
+      (void)rle.label_into(image, rle_scratch);
+    });
+    RleRecord r;
+    r.pair = pair;
+    r.density = density;
+    r.reps = reps;
+    r.pixel_mpx = mpx / (pixel_ms / 1e3);
+    r.rle_mpx = mpx / (rle_ms / 1e3);
+    table.add_row({pair, TextTable::num(density, 2),
+                   TextTable::num(r.pixel_mpx, 1),
+                   TextTable::num(r.rle_mpx, 1),
+                   TextTable::num(r.speedup(), 2) + "x"});
+    runs.push_back(r);
+  };
+
+  for (const double density : densities) {
+    const BinaryImage image = gen::uniform_noise(
+        side, side, density, static_cast<std::uint64_t>(density * 1000) + 7);
+
+    const AremspLabeler aremsp;
+    const AremspRleLabeler aremsp_rle;
+    compare("aremsp", density, image, aremsp, aremsp_rle);
+
+    const ParemspLabeler paremsp(ParemspConfig{.threads = threads});
+    const ParemspRleLabeler paremsp_rle(RleConfig{.threads = threads});
+    compare("paremsp", density, image, paremsp, paremsp_rle);
+
+    const TiledParemspLabeler tiled(TiledParemspConfig{
+        .threads = threads, .tile_rows = 256, .tile_cols = 256});
+    const TiledParemspRleLabeler tiled_rle(RleConfig{
+        .threads = threads, .tile_rows = 256, .tile_cols = 256});
+    compare("paremsp2d", density, image, tiled, tiled_rle);
+  }
+
+  // Engine sharded pipeline: pixel vs run scan kernels, one mid-density
+  // image (the shard phases are identical apart from the scan layer).
+  {
+    const BinaryImage image = gen::landcover_like(side, side, 77);
+    engine::LabelingEngine eng({.workers = threads});
+    const engine::ShardOptions pixel_opts{.tile_rows = 512, .tile_cols = 512};
+    engine::ShardOptions rle_opts = pixel_opts;
+    rle_opts.scan = ShardScan::Runs;
+    const LabelingResult want = eng.label_sharded(image, pixel_opts);
+    const LabelingResult got = eng.label_sharded(image, rle_opts);
+    if (got.num_components != want.num_components ||
+        got.labels != want.labels) {
+      std::cerr << "MISMATCH: sharded runs differ from sharded pixel\n";
+      ++failures;
+    } else {
+      const double pixel_ms = best_ms(reps, [&] {
+        (void)eng.label_sharded(image, pixel_opts);
+      });
+      const double rle_ms = best_ms(reps, [&] {
+        (void)eng.label_sharded(image, rle_opts);
+      });
+      RleRecord r;
+      r.pair = "engine.sharded 512x512";
+      r.density = 0.5;  // landcover stand-in, roughly half foreground
+      r.reps = reps;
+      r.pixel_mpx = mpx / (pixel_ms / 1e3);
+      r.rle_mpx = mpx / (rle_ms / 1e3);
+      table.add_row({r.pair, "landcover", TextTable::num(r.pixel_mpx, 1),
+                     TextTable::num(r.rle_mpx, 1),
+                     TextTable::num(r.speedup(), 2) + "x"});
+      runs.push_back(r);
+    }
+  }
+
+  std::cout << table.to_string() << "\n";
+
+  // Guard: at the lowest density, no rle pair may lose to its pixel twin.
+  bool guard_ok = true;
+  for (const RleRecord& r : runs) {
+    if (r.density == densities.front() && r.speedup() < 1.0) guard_ok = false;
+  }
+  // Stretch: >= 1.3x wherever density >= 0.5.
+  bool stretch_ok = true;
+  for (const RleRecord& r : runs) {
+    if (r.density >= 0.5 && r.speedup() < 1.3) stretch_ok = false;
+  }
+  std::cout << "guard  rle >= 1.0x at density " << densities.front() << ": "
+            << (guard_ok ? "PASS" : "FAIL") << "\n"
+            << "stretch rle >= 1.3x at density >= 0.5: "
+            << (stretch_ok ? "PASS" : "MISS") << "\n";
+
+  write_json(artifact_path("BENCH_rle.json"), side, side, runs, guard_ok,
+             stretch_ok);
+
+  if (failures > 0) {
+    std::cerr << failures << " correctness check(s) failed\n";
+    return 1;
+  }
+  if (!guard_ok) {
+    std::cerr << "low-density throughput guard failed\n";
+    return 1;
+  }
+  std::cout << "all rle results bit-identical to their pixel twins\n";
+  return 0;
+}

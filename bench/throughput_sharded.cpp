@@ -221,7 +221,8 @@ int main() {
   }
 
   std::cout << table.to_string() << "\n";
-  write_json("BENCH_sharded.json", side, side, baseline_mpx, runs);
+  write_json(artifact_path("BENCH_sharded.json"), side, side, baseline_mpx,
+             runs);
 
   if (failures > 0) {
     std::cerr << failures << " correctness check(s) failed\n";

@@ -65,6 +65,31 @@ struct FeatureCell {
     col_sum += c;
   }
 
+  /// Fold one maximal horizontal run (row r, columns [col_begin, col_end))
+  /// into the cell in O(1): the run-based scan layer's replacement for
+  /// length-many add_pixel calls. The coordinate sums use the
+  /// arithmetic-series closed form — sum of col_begin..col_end-1 is
+  /// (col_begin + col_end - 1) * length / 2, an exact integer (the product
+  /// of two consecutive-parity integers is even) — so a cell fed runs is
+  /// bit-identical to the same cell fed its pixels one by one, and fused
+  /// run stats stay value-identical to the post-pass oracle.
+  void add_run(Coord r, Coord col_begin, Coord col_end) noexcept {
+    const std::int64_t len = col_end - col_begin;
+    if (area == 0) {
+      row_min = row_max = r;
+      col_min = col_begin;
+      col_max = col_end - 1;
+    } else {
+      row_min = r < row_min ? r : row_min;
+      row_max = r > row_max ? r : row_max;
+      col_min = col_begin < col_min ? col_begin : col_min;
+      col_max = col_end - 1 > col_max ? col_end - 1 : col_max;
+    }
+    area += len;
+    row_sum += static_cast<std::int64_t>(r) * len;
+    col_sum += (static_cast<std::int64_t>(col_begin) + (col_end - 1)) * len / 2;
+  }
+
   /// Fold another cell into this one.
   void merge(const FeatureCell& other) noexcept {
     if (other.area == 0) return;
@@ -100,6 +125,12 @@ class FeatureAccumulator {
   /// Pixel (r, c) received (new or copied) label l.
   void add(Label l, Coord r, Coord c) noexcept {
     cells_[static_cast<std::size_t>(l)].add_pixel(r, c);
+  }
+
+  /// Run (r, [col_begin, col_end)) received label l — the run-based scan
+  /// layer's O(1)-per-run hook (FeatureCell::add_run).
+  void add_run(Label l, Coord r, Coord col_begin, Coord col_end) noexcept {
+    cells_[static_cast<std::size_t>(l)].add_run(r, col_begin, col_end);
   }
 
   [[nodiscard]] std::span<FeatureCell> cells() const noexcept {

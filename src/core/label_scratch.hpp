@@ -23,6 +23,7 @@
 
 #include "analysis/feature_accumulator.hpp"
 #include "common/types.hpp"
+#include "core/runs.hpp"
 #include "image/raster.hpp"
 
 namespace paremsp {
@@ -52,6 +53,22 @@ class LabelScratch {
   /// new-label event, so no O(label-space) clear ever runs.
   [[nodiscard]] std::span<analysis::FeatureCell> feature_cells(std::size_t n) {
     return grown(feature_cells_, n);
+  }
+
+  /// Per-chunk/tile run buffers for the run-based scan layer
+  /// (core/runs.hpp): buffer i belongs to chunk/tile i, so concurrent
+  /// scans never share one. The vector is grown once to the largest
+  /// tile-count seen and each RunBuffer keeps its own high-water-mark
+  /// storage, so a warm scratch extracts runs allocation-free. The
+  /// buffers' INTERNAL capacity is excluded from reserved_bytes() (it
+  /// tracks spans handed out by this class; run storage grows inside
+  /// extract(), off this class's books).
+  [[nodiscard]] std::span<RunBuffer> run_buffers(std::size_t n) {
+    if (run_buffers_.size() < n) {
+      run_buffers_.resize(n);
+      grows_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return {run_buffers_.data(), n};
   }
 
   /// How acquire_plane prepares a recycled plane's contents.
@@ -137,6 +154,7 @@ class LabelScratch {
   std::vector<Label> parents_;
   std::vector<Label> aux_;
   std::vector<analysis::FeatureCell> feature_cells_;
+  std::vector<RunBuffer> run_buffers_;
   std::vector<LabelImage> planes_;
   std::atomic<std::uint64_t> grows_{0};
   std::atomic<std::uint64_t> plane_reuses_{0};

@@ -45,6 +45,9 @@ enum class Algorithm {
   Aremsp,          // paper §III-B: two-line scan + REMSP
   Paremsp,         // paper §IV: parallel AREMSP
   ParemspTiled,    // extension: 2-D tiled PAREMSP
+  AremspRle,       // extension: run-based AREMSP (bit-packed rows)
+  ParemspRle,      // extension: run-based PAREMSP (row bands)
+  ParemspTiledRle, // extension: run-based 2-D tiled PAREMSP
 };
 
 /// Wall-clock breakdown of one labeling run, in milliseconds.

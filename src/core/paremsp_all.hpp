@@ -29,6 +29,8 @@
 #include "core/paremsp_tiled.hpp"
 #include "core/registry.hpp"
 #include "core/request.hpp"
+#include "core/rle_labelers.hpp"
+#include "core/runs.hpp"
 #include "engine/engine.hpp"
 #include "image/ascii.hpp"
 #include "image/connectivity.hpp"

@@ -14,12 +14,13 @@
 #include "core/cclremsp.hpp"
 #include "core/paremsp.hpp"
 #include "core/paremsp_tiled.hpp"
+#include "core/rle_labelers.hpp"
 
 namespace paremsp {
 
 namespace {
 
-constexpr std::array<AlgorithmInfo, 10> kCatalog{{
+constexpr std::array<AlgorithmInfo, 13> kCatalog{{
     {Algorithm::FloodFill, "floodfill",
      "BFS flood fill (ground-truth oracle)", false, true, false, true},
     {Algorithm::Suzuki, "suzuki",
@@ -45,6 +46,15 @@ constexpr std::array<AlgorithmInfo, 10> kCatalog{{
      true, true},
     {Algorithm::ParemspTiled, "paremsp2d",
      "extension: 2-D tiled PAREMSP", true, false, false, true, true},
+    {Algorithm::AremspRle, "aremsp_rle",
+     "extension: run-based AREMSP (bit-packed rows, run merging)", false,
+     true, false, true, true},
+    {Algorithm::ParemspRle, "paremsp_rle",
+     "extension: run-based PAREMSP (row bands, boundary-run merge)", true,
+     true, false, true, true},
+    {Algorithm::ParemspTiledRle, "paremsp2d_rle",
+     "extension: run-based 2-D tiled PAREMSP (run seam merges)", true, true,
+     false, true, true},
 }};
 
 }  // namespace
@@ -104,6 +114,20 @@ std::unique_ptr<Labeler> make_labeler(Algorithm algorithm,
           .threads = options.threads,
           .merge_backend = options.merge_backend,
           .lock_bits = options.lock_bits});
+    case Algorithm::AremspRle:
+      return std::make_unique<AremspRleLabeler>(options.connectivity);
+    case Algorithm::ParemspRle:
+      return std::make_unique<ParemspRleLabeler>(
+          RleConfig{.threads = options.threads,
+                    .merge_backend = options.merge_backend,
+                    .lock_bits = options.lock_bits},
+          options.connectivity);
+    case Algorithm::ParemspTiledRle:
+      return std::make_unique<TiledParemspRleLabeler>(
+          RleConfig{.threads = options.threads,
+                    .merge_backend = options.merge_backend,
+                    .lock_bits = options.lock_bits},
+          options.connectivity);
   }
   throw PreconditionError("unknown algorithm id");
 }

@@ -45,6 +45,17 @@ struct OutputSet {
   bool stats = false;  // per-component area/bbox/centroid (fused when able)
 };
 
+/// Which scan kernel the sharded tile pipeline runs per tile.
+enum class ShardScan {
+  Pixel,  // AREMSP two-line pixel scan (8-connectivity only)
+  Runs,   // run-based scan over bit-packed rows (both connectivities;
+          // seam merges operate on the boundary runs of adjacent tiles)
+};
+
+[[nodiscard]] constexpr const char* to_string(ShardScan s) noexcept {
+  return s == ShardScan::Pixel ? "pixel" : "runs";
+}
+
 /// Tuning knobs for sharded execution of one huge image across the
 /// engine's worker pool (the scan → seam-merge → flatten → rewrite
 /// dataflow of engine/sharded_labeler.hpp). Lives at the request layer so
@@ -56,6 +67,12 @@ struct ShardOptions {
   Coord tile_rows = 512;
   /// Tile width in columns. Minimum 1.
   Coord tile_cols = 512;
+  /// Per-tile scan kernel. Runs selects the run-based pipeline
+  /// (core/runs.hpp): bit-packed row extraction, one union per
+  /// overlapping boundary-run pair at the seams, fill-width rewrite —
+  /// still bit-identical to sequential AREMSP for 8-connectivity via the
+  /// same canonical renumber, and additionally 4-conn capable.
+  ShardScan scan = ShardScan::Pixel;
   /// Seam-merge backend (shared with PAREMSP). Sequential runs every seam
   /// in one job — the ablation lower bound — since rem_unite must not run
   /// concurrently; the parallel backends get one merge job per tile.

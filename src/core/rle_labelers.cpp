@@ -1,0 +1,192 @@
+#include "core/rle_labelers.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "analysis/feature_accumulator.hpp"
+#include "common/contracts.hpp"
+#include "common/timer.hpp"
+#include "core/label_scratch.hpp"
+#include "core/tiled_phases.hpp"
+#include "unionfind/parallel_rem.hpp"
+#include "unionfind/rem.hpp"
+
+namespace paremsp {
+
+namespace {
+
+/// The one run-based pipeline all three rle labelers share: cut a tile
+/// grid, scan runs per tile, merge boundary runs, resolve + canonically
+/// renumber, and expand the resolved labels back to the raster. `threads`
+/// <= 1 serializes every phase (aremsp_rle); `locks` may be null for the
+/// non-LockedRem backends.
+LabelingResult label_runs_impl(ConstImageView image, Connectivity connectivity,
+                               LabelScratch& scratch,
+                               analysis::ComponentStats* stats,
+                               Coord tile_rows, Coord tile_cols, int threads,
+                               MergeBackend merge_backend,
+                               uf::LockPool* locks) {
+  const WallTimer total;
+  LabelingResult result;
+  result.labels = scratch.acquire_plane(image.rows(), image.cols(),
+                                        LabelScratch::PlaneInit::Dirty);
+  if (image.size() == 0) return result;
+
+  std::vector<TileSpec> tiles =
+      make_tile_grid(image.rows(), image.cols(), tile_rows, tile_cols);
+  const int ntiles = static_cast<int>(tiles.size());
+  const std::size_t label_space = static_cast<std::size_t>(image.size()) + 1;
+  std::span<Label> p = scratch.parents(label_space);
+  std::span<RunBuffer> tile_runs = scratch.run_buffers(tiles.size());
+  // Fused-analysis cells, indexed by provisional label: tile label ranges
+  // are disjoint, so concurrent scans share the array unsynchronized.
+  std::span<analysis::FeatureCell> cells;
+  if (stats != nullptr) cells = scratch.feature_cells(label_space);
+
+  // --- Phase I: per-tile run extraction + run merging ----------------------
+  WallTimer phase;
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
+  for (int t = 0; t < ntiles; ++t) {
+    auto& tile = tiles[static_cast<std::size_t>(t)];
+    auto& runs = tile_runs[static_cast<std::size_t>(t)];
+    tile.used = stats != nullptr
+                    ? scan_tile(image, p, tile, runs, connectivity, cells)
+                    : scan_tile(image, p, tile, runs, connectivity);
+  }
+  result.timings.scan_ms = phase.elapsed_ms();
+
+  // --- Phase II: merge boundary runs along tile seams ----------------------
+  phase.reset();
+  const TileGridShape grid = tile_grid_shape(tiles);
+  switch (merge_backend) {
+    case MergeBackend::LockedRem: {
+      uf::LockPool& pool = *locks;
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
+      for (int t = 0; t < ntiles; ++t) {
+        merge_run_seams(tiles, tile_runs, static_cast<std::size_t>(t), grid,
+                        connectivity, [&](Label x, Label y) {
+                          uf::locked_unite(p.data(), pool, x, y);
+                        });
+      }
+      break;
+    }
+    case MergeBackend::CasRem: {
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
+      for (int t = 0; t < ntiles; ++t) {
+        merge_run_seams(
+            tiles, tile_runs, static_cast<std::size_t>(t), grid, connectivity,
+            [&](Label x, Label y) { uf::cas_unite(p.data(), x, y); });
+      }
+      break;
+    }
+    case MergeBackend::Sequential: {
+      for (int t = 0; t < ntiles; ++t) {
+        merge_run_seams(
+            tiles, tile_runs, static_cast<std::size_t>(t), grid, connectivity,
+            [&](Label x, Label y) { uf::rem_unite(p.data(), x, y); });
+      }
+      break;
+    }
+  }
+  result.timings.merge_ms = phase.elapsed_ms();
+
+  // --- FLATTEN + canonical run renumber ------------------------------------
+  phase.reset();
+  Label total_used = 0;
+  for (const auto& tile : tiles) total_used += tile.used;
+  std::span<Label> remap =
+      scratch.aux(static_cast<std::size_t>(total_used) + 1);
+  result.num_components = resolve_final_run_labels(
+      p, tiles, {tile_runs.data(), tile_runs.size()}, connectivity,
+      image.rows(), remap);
+  if (stats != nullptr) {
+    stats->components.assign(static_cast<std::size_t>(result.num_components),
+                             {});
+    fold_tile_features(cells, p, tiles, stats->components);
+  }
+  result.timings.flatten_ms = phase.elapsed_ms();
+
+  // --- Final labeling: expand resolved run labels (fill-width segments) ----
+  phase.reset();
+#pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
+  for (int t = 0; t < ntiles; ++t) {
+    rewrite_run_labels(tile_runs[static_cast<std::size_t>(t)], p,
+                       tiles[static_cast<std::size_t>(t)], result.labels);
+  }
+  result.timings.relabel_ms = phase.elapsed_ms();
+  result.timings.total_ms = total.elapsed_ms();
+  return result;
+}
+
+/// Full-width row bands for paremsp_rle: about one band per thread,
+/// clamped so every band has at least one row.
+Coord band_rows(Coord rows, int threads) {
+  const int n = std::clamp<int>(threads, 1, static_cast<int>(
+                                                std::max<Coord>(rows, 1)));
+  return std::max<Coord>(1, (rows + n - 1) / n);
+}
+
+}  // namespace
+
+LabelingResult AremspRleLabeler::run_impl(ConstImageView image,
+                                          Connectivity connectivity,
+                                          LabelScratch& scratch,
+                                          analysis::ComponentStats* stats)
+    const {
+  return label_runs_impl(image, connectivity, scratch, stats,
+                         std::max<Coord>(image.rows(), 1),
+                         std::max<Coord>(image.cols(), 1), /*threads=*/1,
+                         MergeBackend::Sequential, nullptr);
+}
+
+ParemspRleLabeler::ParemspRleLabeler(RleConfig config,
+                                     Connectivity connectivity)
+    : Labeler(Algorithm::ParemspRle, connectivity), config_(config) {
+  PAREMSP_REQUIRE(config_.threads >= 0, "threads must be >= 0");
+  PAREMSP_REQUIRE(config_.lock_bits >= 0 && config_.lock_bits <= 24,
+                  "lock_bits out of range");
+  if (config_.merge_backend == MergeBackend::LockedRem) {
+    locks_ = std::make_unique<uf::LockPool>(config_.lock_bits);
+  }
+}
+
+LabelingResult ParemspRleLabeler::run_impl(ConstImageView image,
+                                           Connectivity connectivity,
+                                           LabelScratch& scratch,
+                                           analysis::ComponentStats* stats)
+    const {
+  const int threads =
+      config_.threads > 0 ? config_.threads : omp_get_max_threads();
+  return label_runs_impl(image, connectivity, scratch, stats,
+                         band_rows(image.rows(), threads),
+                         std::max<Coord>(image.cols(), 1), threads,
+                         config_.merge_backend, locks_.get());
+}
+
+TiledParemspRleLabeler::TiledParemspRleLabeler(RleConfig config,
+                                               Connectivity connectivity)
+    : Labeler(Algorithm::ParemspTiledRle, connectivity), config_(config) {
+  PAREMSP_REQUIRE(config_.threads >= 0, "threads must be >= 0");
+  PAREMSP_REQUIRE(config_.tile_rows >= 1 && config_.tile_cols >= 1,
+                  "tiles must be at least 1x1");
+  PAREMSP_REQUIRE(config_.lock_bits >= 0 && config_.lock_bits <= 24,
+                  "lock_bits out of range");
+  if (config_.merge_backend == MergeBackend::LockedRem) {
+    locks_ = std::make_unique<uf::LockPool>(config_.lock_bits);
+  }
+}
+
+LabelingResult TiledParemspRleLabeler::run_impl(
+    ConstImageView image, Connectivity connectivity, LabelScratch& scratch,
+    analysis::ComponentStats* stats) const {
+  const int threads =
+      config_.threads > 0 ? config_.threads : omp_get_max_threads();
+  return label_runs_impl(image, connectivity, scratch, stats,
+                         config_.tile_rows, config_.tile_cols, threads,
+                         config_.merge_backend, locks_.get());
+}
+
+}  // namespace paremsp

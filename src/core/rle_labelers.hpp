@@ -1,0 +1,125 @@
+// Run-based (RLE) labelers — the run-scan twins of AREMSP, PAREMSP and
+// tiled PAREMSP.
+//
+// All three compose the same run-based phases from core/tiled_phases.hpp
+// over a tile grid; they differ only in how the grid is cut and how the
+// phases are scheduled:
+//
+//   aremsp_rle     one tile (the whole image), sequential — the run twin
+//                  of sequential AREMSP;
+//   paremsp_rle    full-width row bands, one OpenMP task each, boundary
+//                  RUNS merged by the Algorithm-8 backends — the run twin
+//                  of PAREMSP;
+//   paremsp2d_rle  a 2-D tile grid with run seam merges on both axes —
+//                  the run twin of tiled PAREMSP (and the kernel set the
+//                  engine's sharded ShardScan::Runs path reuses).
+//
+// The pipeline per tile: RowBits packs each row into 64-pixel words, runs
+// are emitted by ctz/popcount word scanning, each run records ONE
+// equivalence per overlapping previous-row run pair (union-find traffic
+// scales with run pairs, not pixels), and after FLATTEN + the canonical
+// run renumber the resolved labels expand back to the raster with
+// std::fill-width segments — the output plane is written exactly once,
+// where the pixel algorithms write provisional labels and then rewrite.
+//
+// Bit-identity: for 8-connectivity the canonical renumber
+// (resolve_final_run_labels) restores sequential AREMSP's two-line
+// first-appearance numbering, so all three are bit-identical to
+// AremspLabeler for every thread count and tile geometry. Unlike their
+// pixel twins they also support 4-connectivity (the run overlap window is
+// the only place connectivity enters), numbering components in raster
+// first-appearance order like the one-line-scan algorithms.
+#pragma once
+
+#include <memory>
+
+#include "core/labeling.hpp"
+#include "core/paremsp.hpp"
+#include "unionfind/lock_pool.hpp"
+
+namespace paremsp {
+
+/// Shared tuning knobs of the parallel rle labelers.
+struct RleConfig {
+  /// Worker threads; 0 means the OpenMP default.
+  int threads = 0;
+  /// Tile height in rows (paremsp2d_rle; paremsp_rle derives its row
+  /// bands from `threads` instead). Any value >= 1.
+  Coord tile_rows = 256;
+  /// Tile width in columns (paremsp2d_rle only). Minimum 1.
+  Coord tile_cols = 256;
+  /// Boundary-run merge backend (shared with the pixel algorithms).
+  MergeBackend merge_backend = MergeBackend::LockedRem;
+  /// log2 of the striped lock-pool size (LockedRem only).
+  int lock_bits = uf::LockPool::kDefaultBits;
+};
+
+/// Sequential run-based AREMSP. Supports both connectivities.
+class AremspRleLabeler final : public Labeler {
+ public:
+  explicit AremspRleLabeler(Connectivity connectivity = Connectivity::Eight)
+      : Labeler(Algorithm::AremspRle, connectivity) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "aremsp_rle";
+  }
+
+ protected:
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
+};
+
+/// Row-banded parallel run-based PAREMSP.
+class ParemspRleLabeler final : public Labeler {
+ public:
+  explicit ParemspRleLabeler(RleConfig config = {},
+                             Connectivity connectivity = Connectivity::Eight);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "paremsp_rle";
+  }
+  [[nodiscard]] bool is_parallel() const noexcept override { return true; }
+
+  [[nodiscard]] const RleConfig& config() const noexcept { return config_; }
+
+ protected:
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
+
+ private:
+  RleConfig config_;
+  std::unique_ptr<uf::LockPool> locks_;
+};
+
+/// 2-D tiled parallel run-based PAREMSP.
+class TiledParemspRleLabeler final : public Labeler {
+ public:
+  explicit TiledParemspRleLabeler(
+      RleConfig config = {}, Connectivity connectivity = Connectivity::Eight);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "paremsp2d_rle";
+  }
+  [[nodiscard]] bool is_parallel() const noexcept override { return true; }
+
+  [[nodiscard]] const RleConfig& config() const noexcept { return config_; }
+
+ protected:
+  [[nodiscard]] LabelingResult run_impl(ConstImageView image,
+                                        Connectivity connectivity,
+                                        LabelScratch& scratch,
+                                        analysis::ComponentStats* stats)
+      const override;
+
+ private:
+  RleConfig config_;
+  std::unique_ptr<uf::LockPool> locks_;
+};
+
+}  // namespace paremsp

@@ -1,0 +1,210 @@
+// Run representation + run-merging scan kernels — the run-based twin of
+// the pixel scan layer (scan_one_line.hpp / scan_two_line.hpp).
+//
+// A *run* is a maximal horizontal stretch of foreground pixels in one row.
+// Run-based CCL (He 2008; Lemaitre & Lacassagne 2020) replaces the
+// per-pixel decision tree with three word-level steps:
+//
+//   extract   RowBits (image/row_bits.hpp) packs each row into 64-pixel
+//             words; countr_zero / countr_one walk the words and emit the
+//             maximal runs — no per-pixel branch ever executes;
+//   merge     each run takes the label of its first vertically-overlapping
+//             run in the previous row and records ONE equivalence per
+//             additional overlapping run pair through the same
+//             equiv_policies the pixel kernels use (RemEquiv & friends) —
+//             union-find traffic scales with run pairs, not pixels;
+//   rewrite   after FLATTEN, resolved labels expand back to the raster as
+//             std::fill-width row segments (core/tiled_phases.hpp).
+//
+// The overlap window is the only place connectivity enters: 8-connectivity
+// widens the previous-row window by one column on each side (diagonal
+// touch), 4-connectivity is direct overlap. That makes the run kernels the
+// first scan layer in the repo supporting BOTH connectivities through one
+// code path.
+//
+// scan_runs_two_line / scan_runs_one_line mirror the masks of the pixel
+// kernels they twin (ARUN's two-line 8-mask, CCLREMSP's one-line tree). In
+// the run domain the two collapse to the same overlap walk — a run *is*
+// the d/e "continue left" chain the pixel masks chase — so the two-line
+// kernel is the 8-connected window and the one-line kernel dispatches on
+// connectivity; the distinct names pin which pixel kernel each replaces
+// and keep call sites greppable against their pixel twins.
+//
+// Label-minima invariant (DESIGN.md §3, §8): labels are issued in
+// row-major run order, so under REM every component's root is its first
+// run in that order, exactly like the pixel scans — which is what lets the
+// rle labelers reuse the canonical first-appearance renumber to stay
+// bit-identical to sequential AREMSP.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/types.hpp"
+#include "image/connectivity.hpp"
+#include "image/row_bits.hpp"
+#include "image/view.hpp"
+
+namespace paremsp {
+
+/// One maximal horizontal foreground run: row `row`, half-open column
+/// range [col_begin, col_end), carrying its provisional label once the
+/// scan has assigned one.
+struct Run {
+  Coord row = 0;
+  Coord col_begin = 0;  // first foreground column (inclusive)
+  Coord col_end = 0;    // one past the last foreground column
+  Label label = 0;      // provisional label (0 until the merge step)
+
+  [[nodiscard]] Coord length() const noexcept { return col_end - col_begin; }
+  friend bool operator==(const Run&, const Run&) = default;
+};
+
+/// Per-row run storage for a rectangle of rows, pooled in LabelScratch
+/// (one per chunk/tile so concurrent scans never share one). Runs are
+/// appended row by row in increasing row order and stay sorted by
+/// col_begin within each row; row(r) is an O(1) slice via offsets.
+class RunBuffer {
+ public:
+  RunBuffer() = default;
+  RunBuffer(RunBuffer&&) noexcept = default;
+  RunBuffer& operator=(RunBuffer&&) noexcept = default;
+
+  /// Extract the maximal foreground runs of the rectangle rows
+  /// [row_begin, row_end) x cols [col_begin, col_end) of `image`,
+  /// replacing any previous contents. Column coordinates in the emitted
+  /// runs are absolute image columns. Storage (runs, offsets, the RowBits
+  /// words) is grown once and reused allocation-free afterwards.
+  void extract(ConstImageView image, Coord row_begin, Coord row_end,
+               Coord col_begin, Coord col_end);
+
+  /// Runs of image row r (requires row_begin() <= r < row_end()).
+  [[nodiscard]] std::span<Run> row(Coord r) noexcept {
+    const auto i = static_cast<std::size_t>(r - row_begin_);
+    return {runs_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+  [[nodiscard]] std::span<const Run> row(Coord r) const noexcept {
+    const auto i = static_cast<std::size_t>(r - row_begin_);
+    return {runs_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+  }
+
+  /// All runs of the rectangle, row-major, col-sorted within each row.
+  [[nodiscard]] std::span<const Run> all() const noexcept { return runs_; }
+
+  [[nodiscard]] Coord row_begin() const noexcept { return row_begin_; }
+  [[nodiscard]] Coord row_end() const noexcept { return row_end_; }
+  [[nodiscard]] std::size_t size() const noexcept { return runs_.size(); }
+
+ private:
+  std::vector<Run> runs_;
+  std::vector<std::size_t> offsets_;  // size (row_end - row_begin) + 1
+  Coord row_begin_ = 0;
+  Coord row_end_ = 0;
+  RowBits bits_;  // encoder scratch, pooled with the buffer
+};
+
+/// Merge step for one row: assign every run in `cur` (col-sorted, labels
+/// unset) a label from the previous row's runs, recording one equivalence
+/// per overlapping run pair beyond the first through `eq`, or a fresh
+/// label when nothing overlaps. `window` is the vertical-adjacency slack:
+/// 1 for 8-connectivity (diagonal touch), 0 for 4-connectivity. `sink`
+/// receives fresh(label) at new-label events and add_run(label, ...) once
+/// per run — the fused-analysis hook (arithmetic-series coordinate sums).
+/// Two-pointer walk: O(|cur| + |prev| + overlapping pairs).
+template <class Equiv, class FeatureSink>
+void merge_row_runs(std::span<Run> cur, std::span<const Run> prev,
+                    Coord window, Equiv& eq, FeatureSink& sink) {
+  std::size_t j = 0;
+  for (Run& run : cur) {
+    // prev[j] is 8/4-adjacent to `run` iff it has a pixel in columns
+    // [run.col_begin - window, run.col_end - 1 + window]; rearranged to
+    // additions so column 0 never underflows.
+    while (j < prev.size() && prev[j].col_end + window <= run.col_begin) ++j;
+    Label label = 0;
+    for (std::size_t k = j;
+         k < prev.size() && prev[k].col_begin < run.col_end + window; ++k) {
+      label = label == 0 ? eq.copy(prev[k].label)
+                         : eq.merge(label, prev[k].label);
+    }
+    if (label == 0) {
+      label = eq.new_label();
+      sink.fresh(label);
+    }
+    run.label = label;
+    sink.add_run(label, run.row, run.col_begin, run.col_end);
+  }
+}
+
+/// Record one unite() per 8/4-adjacent run pair between two already
+/// labeled rows (seam merging between chunks/tiles). Same two-pointer
+/// walk as merge_row_runs, but both sides keep their labels.
+template <class UniteFn>
+void unite_overlapping_runs(std::span<const Run> cur,
+                            std::span<const Run> prev, Coord window,
+                            UniteFn&& unite) {
+  std::size_t j = 0;
+  for (const Run& run : cur) {
+    while (j < prev.size() && prev[j].col_end + window <= run.col_begin) ++j;
+    for (std::size_t k = j;
+         k < prev.size() && prev[k].col_begin < run.col_end + window; ++k) {
+      unite(run.label, prev[k].label);
+    }
+  }
+}
+
+/// Overlap window for a connectivity (the one place it enters the run
+/// kernels): 8-connectivity admits diagonal touch, widening the
+/// previous-row window by one column on each side.
+[[nodiscard]] constexpr Coord run_overlap_window(
+    Connectivity connectivity) noexcept {
+  return connectivity == Connectivity::Eight ? 1 : 0;
+}
+
+/// Run-based Scan Phase over the rectangle rows [row_begin, row_end) x
+/// cols [col_begin, col_end): extract runs, then merge each row against
+/// the previous one. Rows outside the rectangle count as background
+/// (chunking/tiling contract of the pixel kernels); the suppressed
+/// cross-boundary adjacencies are restored by the run seam merges.
+/// Returns the number of provisional labels issued through `eq`.
+template <class Equiv, class FeatureSink>
+Label scan_runs(ConstImageView image, RunBuffer& runs, Equiv& eq,
+                FeatureSink& sink, Coord window, Coord row_begin,
+                Coord row_end, Coord col_begin, Coord col_end) {
+  runs.extract(image, row_begin, row_end, col_begin, col_end);
+  std::span<const Run> prev{};
+  for (Coord r = row_begin; r < row_end; ++r) {
+    const std::span<Run> cur = runs.row(r);
+    merge_row_runs(cur, prev, window, eq, sink);
+    prev = cur;
+  }
+  return eq.used();
+}
+
+/// Run twin of scan_two_line (the ARUN/AREMSP 8-connected mask): the
+/// d-continues-e chain the pixel mask special-cases is a run by
+/// construction, and the b/a/c neighbor cases collapse into the
+/// one-union-per-overlapping-pair walk.
+template <class Equiv, class FeatureSink>
+Label scan_runs_two_line(ConstImageView image, RunBuffer& runs, Equiv& eq,
+                         FeatureSink& sink, Coord row_begin, Coord row_end,
+                         Coord col_begin, Coord col_end) {
+  return scan_runs(image, runs, eq, sink, /*window=*/1, row_begin, row_end,
+                   col_begin, col_end);
+}
+
+/// Run twin of scan_one_line (the CCLREMSP/CCLLRPC decision tree),
+/// dispatching the overlap window on connectivity — including the
+/// 4-connected mask {b, d}, whose d-neighbor is the run itself.
+template <class Equiv, class FeatureSink>
+Label scan_runs_one_line(ConstImageView image, RunBuffer& runs, Equiv& eq,
+                         FeatureSink& sink, Connectivity connectivity,
+                         Coord row_begin, Coord row_end, Coord col_begin,
+                         Coord col_end) {
+  return scan_runs(image, runs, eq, sink, run_overlap_window(connectivity),
+                   row_begin, row_end, col_begin, col_end);
+}
+
+}  // namespace paremsp

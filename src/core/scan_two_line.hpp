@@ -41,6 +41,7 @@ namespace paremsp {
 struct NoFeatureSink {
   void fresh(Label) noexcept {}
   void add(Label, Coord, Coord) noexcept {}
+  void add_run(Label, Coord, Coord, Coord) noexcept {}
 };
 
 /// Scan Phase of AREMSP/ARUN (paper Algorithm 6) over the rectangle

@@ -37,11 +37,14 @@
 // the sequential numbering.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
 #include "analysis/feature_accumulator.hpp"
 #include "common/types.hpp"
+#include "core/runs.hpp"
+#include "image/connectivity.hpp"
 #include "image/raster.hpp"
 #include "image/view.hpp"
 
@@ -94,6 +97,152 @@ struct TileSpec {
 [[nodiscard]] Label scan_tile(ConstImageView image, LabelImage& labels,
                               std::span<Label> parents, const TileSpec& tile,
                               std::span<analysis::FeatureCell> cells);
+
+// --- Run-based phase variants ------------------------------------------------
+// The run-based rle pipelines (core/rle_labelers.hpp, the engine's
+// ShardOptions::scan == ShardScan::Runs) compose these instead of the
+// pixel phases above: the scan emits labeled runs (no provisional label is
+// ever written to the raster), seams merge boundary RUNS of adjacent
+// tiles, the canonical renumber walks runs instead of pixels, and the
+// rewrite expands resolved labels with std::fill-width row segments — the
+// label plane is written exactly once, by the rewrite.
+
+/// Row-major shape of a make_tile_grid() result: `tile_rows`/`tile_cols`
+/// are the uniform strides (edge tiles may be clipped smaller), so the
+/// tile containing pixel (r, c) is (r / tile_rows, c / tile_cols).
+struct TileGridShape {
+  Coord grid_rows = 0;
+  Coord grid_cols = 0;
+  Coord tile_rows = 1;
+  Coord tile_cols = 1;
+};
+
+/// Derive the grid shape back from a row-major TileSpec list.
+[[nodiscard]] TileGridShape tile_grid_shape(std::span<const TileSpec> tiles);
+
+/// Run-based Phase I for one tile: extract the tile's maximal horizontal
+/// runs into `runs` (bit-packed RowBits words, core/runs.hpp) and merge
+/// them row against row, issuing provisional labels above tile.base into
+/// `parents`. Nothing is written to any label plane — the runs CARRY the
+/// labels until rewrite_run_labels expands them. Unlike the pixel scan,
+/// both connectivities route through the one kernel (the overlap window
+/// is the only difference). Thread-safe across distinct tiles exactly
+/// like the pixel scan_tile: disjoint label ranges, disjoint buffers.
+[[nodiscard]] Label scan_tile(ConstImageView image, std::span<Label> parents,
+                              const TileSpec& tile, RunBuffer& runs,
+                              Connectivity connectivity);
+
+/// Fused-analysis variant: every run is additionally folded into `cells`
+/// in O(1) via the arithmetic-series coordinate sums
+/// (FeatureCell::add_run), value-identical to per-pixel accumulation.
+[[nodiscard]] Label scan_tile(ConstImageView image, std::span<Label> parents,
+                              const TileSpec& tile, RunBuffer& runs,
+                              Connectivity connectivity,
+                              std::span<analysis::FeatureCell> cells);
+
+/// Run-based Phase II for tile `t`: feed every 4/8-adjacency crossing the
+/// tile's top and left seams to `unite(Label, Label)`, operating on the
+/// BOUNDARY RUNS of adjacent tiles — one unite per overlapping run pair,
+/// instead of one per seam pixel. Covering top + left seams over all
+/// tiles covers every seam exactly once, like the pixel merge_tile_seams:
+///
+///   top seam   this tile's first-row runs against the up neighbor's
+///              last-row runs (two-pointer overlap walk, window widened
+///              by 1 column for 8-connectivity), plus the up-left /
+///              up-right corner touches, which live in the DIAGONAL
+///              neighbors' run lists (only their seam-hugging run can
+///              touch, so they are O(1) probes);
+///   left seam  per row, this tile's seam-starting run against the left
+///              neighbor's seam-ending runs in rows r-1, r, r+1 clipped
+///              to the tile band (rows outside the band cross a
+///              horizontal seam too and are exactly the corner cases the
+///              top seams above already cover).
+///
+/// `unite` must be safe for the caller's schedule, same contract as
+/// merge_tile_seams.
+template <class UniteFn>
+void merge_run_seams(std::span<const TileSpec> tiles,
+                     std::span<const RunBuffer> tile_runs, std::size_t t,
+                     const TileGridShape& grid, Connectivity connectivity,
+                     UniteFn&& unite) {
+  const TileSpec& tile = tiles[t];
+  const Coord window = run_overlap_window(connectivity);
+  const Coord tc = static_cast<Coord>(t) % grid.grid_cols;
+
+  if (tile.row_begin > 0) {
+    const Coord seam_row = tile.row_begin - 1;
+    const std::size_t up = t - static_cast<std::size_t>(grid.grid_cols);
+    const std::span<const Run> mine = tile_runs[t].row(tile.row_begin);
+    unite_overlapping_runs(mine, tile_runs[up].row(seam_row), window, unite);
+    if (window > 0 && !mine.empty()) {
+      if (tc > 0) {
+        const std::span<const Run> diag = tile_runs[up - 1].row(seam_row);
+        if (!diag.empty() && diag.back().col_end == tile.col_begin &&
+            mine.front().col_begin == tile.col_begin) {
+          unite(mine.front().label, diag.back().label);
+        }
+      }
+      if (tc + 1 < grid.grid_cols) {
+        const std::span<const Run> diag = tile_runs[up + 1].row(seam_row);
+        if (!diag.empty() && diag.front().col_begin == tile.col_end &&
+            mine.back().col_end == tile.col_end) {
+          unite(mine.back().label, diag.front().label);
+        }
+      }
+    }
+  }
+
+  if (tile.col_begin > 0) {
+    const RunBuffer& left = tile_runs[t - 1];
+    for (Coord r = tile.row_begin; r < tile.row_end; ++r) {
+      const std::span<const Run> mine = tile_runs[t].row(r);
+      if (mine.empty() || mine.front().col_begin != tile.col_begin) continue;
+      const Coord lo = std::max<Coord>(r - window, tile.row_begin);
+      const Coord hi = std::min<Coord>(r + window, tile.row_end - 1);
+      for (Coord rp = lo; rp <= hi; ++rp) {
+        const std::span<const Run> theirs = left.row(rp);
+        if (!theirs.empty() && theirs.back().col_end == tile.col_begin) {
+          unite(mine.front().label, theirs.back().label);
+        }
+      }
+    }
+  }
+}
+
+/// Run-based Phases III+IV bookkeeping: FLATTEN every tile's used label
+/// range in increasing base order, then renumber into the canonical
+/// order of the matching pixel algorithms by walking the RUNS (the label
+/// plane holds no provisional labels in the run pipelines):
+///
+///   8-connectivity  first appearance in the sequential TWO-LINE visit
+///                   order — row pairs (0,1),(2,3),…, column by column,
+///                   upper before lower. A component's first-visited
+///                   pixel is the (col_begin, parity)-minimal run start
+///                   among its runs in its earliest pair, so merging each
+///                   pair's two run streams by (col_begin, parity)
+///                   reproduces sequential AREMSP's numbering exactly —
+///                   the rle pipelines are bit-identical to AREMSP for
+///                   every chunking and tile geometry.
+///   4-connectivity  first appearance in raster order (the numbering of
+///                   the one-line-scan algorithms and the flood-fill
+///                   oracle); full-width tile bands already flatten into
+///                   that order, so the walk is skipped for them.
+///
+/// On return parents[l] is the FINAL label of every issued provisional
+/// label l; finish with rewrite_run_labels per tile. `remap` is caller
+/// storage of at least (total used labels + 1) entries. Single-threaded.
+[[nodiscard]] Label resolve_final_run_labels(
+    std::span<Label> parents, std::span<const TileSpec> tiles,
+    std::span<const RunBuffer> tile_runs, Connectivity connectivity,
+    Coord rows, std::span<Label> remap);
+
+/// Run-based final labeling for one tile: expand each resolved run label
+/// into its row segment with std::fill, zero-filling the gaps — the only
+/// pass that writes the output raster in the run pipelines. `out` may be
+/// strided (a caller's label_out ROI writes zero-copy). Thread-safe
+/// across distinct tiles (disjoint rectangles).
+void rewrite_run_labels(const RunBuffer& runs, std::span<const Label> parents,
+                        const TileSpec& tile, MutableImageView out);
 
 /// Phase II for one tile: feed every 8-adjacency crossing the tile's top
 /// and left seams to `unite(Label, Label)`. Each seam pixel generates at

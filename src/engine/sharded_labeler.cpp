@@ -36,10 +36,11 @@ namespace paremsp::engine {
 class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
  public:
   ShardedRun(LabelingEngine& engine, LabelRequest request,
-             LabelingEngine::Deliver deliver)
+             Connectivity connectivity, LabelingEngine::Deliver deliver)
       : engine_(engine),
         request_(std::move(request)),
         options_(*request_.shard),
+        connectivity_(connectivity),
         deliver_(std::move(deliver)) {
     if (options_.merge_backend == MergeBackend::LockedRem) {
       locks_ = std::make_unique<uf::LockPool>(options_.lock_bits);
@@ -57,6 +58,12 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   [[nodiscard]] bool with_stats() const noexcept {
     return request_.outputs.stats;
   }
+  [[nodiscard]] bool scans_runs() const noexcept {
+    return options_.scan == ShardScan::Runs;
+  }
+  [[nodiscard]] std::span<const RunBuffer> runs() const noexcept {
+    return {tile_runs_.data(), tile_runs_.size()};
+  }
 
   void launch() {
     result_.labels = engine_.take_recycled_plane();
@@ -71,6 +78,14 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     if (with_stats()) cells_ = engine_.take_shard_cells(parents_size_);
     tiles_ = make_tile_grid(image().rows(), image().cols(),
                             options_.tile_rows, options_.tile_cols);
+    if (scans_runs()) {
+      // Per-tile run storage for the run-based pipeline. Freshly built
+      // per shard (unlike the pooled parent/remap buffers): the buffers
+      // grow to each tile's run count, which varies with the image, and
+      // a shard's tile count is small next to its pixel count.
+      tile_runs_ = std::vector<RunBuffer>(tiles_.size());
+      grid_ = tile_grid_shape(tiles_);
+    }
 
     // Initial fan-out takes the bounded, backpressured queue path — this
     // runs on the submitting thread, where blocking is the contract.
@@ -90,11 +105,22 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
         const std::span<Label> parents{parents_.data.get(), parents_size_};
         // The fused variant writes feature cells only in this tile's label
         // range, so concurrent scan jobs share cells_ race-free.
-        tile.used =
-            with_stats()
-                ? scan_tile(image(), result_.labels, parents, tile,
-                            {cells_.data.get(), parents_size_})
-                : scan_tile(image(), result_.labels, parents, tile);
+        if (scans_runs()) {
+          // Run scan: labels live on the runs until the rewrite —
+          // nothing touches the shared label plane in this phase.
+          tile.used =
+              with_stats()
+                  ? scan_tile(image(), parents, tile, tile_runs_[t],
+                              connectivity_, {cells_.data.get(), parents_size_})
+                  : scan_tile(image(), parents, tile, tile_runs_[t],
+                              connectivity_);
+        } else {
+          tile.used =
+              with_stats()
+                  ? scan_tile(image(), result_.labels, parents, tile,
+                              {cells_.data.get(), parents_size_})
+                  : scan_tile(image(), result_.labels, parents, tile);
+        }
       } catch (...) {
         fail(std::current_exception());
       }
@@ -126,7 +152,18 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     if (!failed_.load(std::memory_order_acquire)) {
       try {
         Label* p = parents_.data.get();
-        if (options_.merge_backend == MergeBackend::LockedRem) {
+        if (scans_runs()) {
+          if (options_.merge_backend == MergeBackend::LockedRem) {
+            merge_run_seams(tiles_, runs(), t, grid_, connectivity_,
+                            [&](Label x, Label y) {
+                              uf::locked_unite(p, *locks_, x, y);
+                            });
+          } else {
+            merge_run_seams(
+                tiles_, runs(), t, grid_, connectivity_,
+                [&](Label x, Label y) { uf::cas_unite(p, x, y); });
+          }
+        } else if (options_.merge_backend == MergeBackend::LockedRem) {
           merge_tile_seams(result_.labels, tiles_[t], [&](Label x, Label y) {
             uf::locked_unite(p, *locks_, x, y);
           });
@@ -146,10 +183,17 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     if (!failed_.load(std::memory_order_acquire)) {
       try {
         Label* p = parents_.data.get();
-        for (const TileSpec& tile : tiles_) {
-          merge_tile_seams(result_.labels, tile, [&](Label x, Label y) {
-            uf::rem_unite(p, x, y);
-          });
+        if (scans_runs()) {
+          for (std::size_t t = 0; t < tiles_.size(); ++t) {
+            merge_run_seams(tiles_, runs(), t, grid_, connectivity_,
+                            [&](Label x, Label y) { uf::rem_unite(p, x, y); });
+          }
+        } else {
+          for (const TileSpec& tile : tiles_) {
+            merge_tile_seams(result_.labels, tile, [&](Label x, Label y) {
+              uf::rem_unite(p, x, y);
+            });
+          }
         }
       } catch (...) {
         fail(std::current_exception());
@@ -168,9 +212,15 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
         const std::size_t remap_size =
             static_cast<std::size_t>(total_used) + 1;
         remap_ = engine_.take_shard_buffer(remap_size);
-        result_.num_components = resolve_final_labels(
-            {parents_.data.get(), parents_size_}, tiles_, result_.labels,
-            {remap_.data.get(), remap_size});
+        result_.num_components =
+            scans_runs()
+                ? resolve_final_run_labels({parents_.data.get(), parents_size_},
+                                           tiles_, runs(), connectivity_,
+                                           image().rows(),
+                                           {remap_.data.get(), remap_size})
+                : resolve_final_labels(
+                      {parents_.data.get(), parents_size_}, tiles_,
+                      result_.labels, {remap_.data.get(), remap_size});
         if (with_stats()) {
           // The seam-merge jobs' unions are resolved in the parent table
           // now, so this fold merges accumulators exactly where labels
@@ -195,13 +245,33 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
       return;
     }
 
-    // --- Phase IV: parallel rewrite over row bands --------------------------
+    // --- Phase IV: parallel rewrite ------------------------------------------
+    // Pixel mode rewrites the provisional plane over row bands; run mode
+    // expands the resolved run labels per tile (fill-width segments) —
+    // the plane (or the caller's label_out) is written here for the
+    // first and only time.
+    if (scans_runs()) {
+      fan_out(tiles_.size(), [](const std::shared_ptr<ShardedRun>& self,
+                                std::size_t t) { self->run_rewrite_runs(t); });
+      return;
+    }
     const std::size_t bands = std::min<std::size_t>(
         static_cast<std::size_t>(engine_.workers()),
         static_cast<std::size_t>(image().rows()));
     rewrite_bands_ = bands;
     fan_out(bands, [](const std::shared_ptr<ShardedRun>& self,
                       std::size_t band) { self->run_rewrite(band); });
+  }
+
+  void run_rewrite_runs(std::size_t t) {
+    if (!failed_.load(std::memory_order_acquire)) {
+      const std::span<const Label> parents{parents_.data.get(), parents_size_};
+      const MutableImageView out = request_.label_out.has_value()
+                                       ? *request_.label_out
+                                       : MutableImageView(result_.labels);
+      rewrite_run_labels(tile_runs_[t], parents, tiles_[t], out);
+    }
+    finish_phase(1, &ShardedRun::deliver);
   }
 
   void run_rewrite(std::size_t band) {
@@ -361,6 +431,7 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   LabelingEngine& engine_;
   const LabelRequest request_;  // borrowed views; shard engaged
   const ShardOptions options_;
+  const Connectivity connectivity_;  // effective (validated) connectivity
   LabelingEngine::Deliver deliver_;
   std::unique_ptr<uf::LockPool> locks_;
 
@@ -371,6 +442,8 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   LabelingEngine::ShardBuffer remap_;    // renumber table (Phase III)
   LabelingEngine::ShardCellBuffer cells_;  // feature cells (outputs.stats)
   std::vector<TileSpec> tiles_;
+  std::vector<RunBuffer> tile_runs_;       // run-mode per-tile runs
+  TileGridShape grid_;                     // run-mode seam/renumber lookup
   std::size_t rewrite_bands_ = 1;
 
   std::atomic<std::int64_t> remaining_{0};
@@ -388,14 +461,19 @@ void LabelingEngine::start_sharded(LabelRequest request, Deliver deliver) {
                   "lock_bits out of range");
   // Shared request gate: the effective connectivity defaults exactly like
   // the worker path (request override, else the engine's configured
-  // labeler default). The sharded pipeline IS tiled AREMSP, so anything
-  // but 8 is rejected with the registry's uniform error — never silently
-  // relabeled under a different connectivity than the unsharded request
-  // would use.
-  (void)validate_request(request, Algorithm::ParemspTiled,
-                         config_.labeler.connectivity);
+  // labeler default). The pipeline is validated against the algorithm it
+  // actually runs: pixel shards ARE tiled AREMSP (8-connectivity only),
+  // run shards are run-based tiled PAREMSP, which additionally admits
+  // 4-connectivity — either way an unsupported combination is rejected
+  // with the registry's uniform error, never silently relabeled.
+  const Algorithm algorithm = options.scan == ShardScan::Runs
+                                  ? Algorithm::ParemspTiledRle
+                                  : Algorithm::ParemspTiled;
+  const Connectivity connectivity =
+      validate_request(request, algorithm, config_.labeler.connectivity);
   shards_submitted_.fetch_add(1, std::memory_order_relaxed);
-  std::make_shared<ShardedRun>(*this, std::move(request), std::move(deliver))
+  std::make_shared<ShardedRun>(*this, std::move(request), connectivity,
+                               std::move(deliver))
       ->start();
 }
 

@@ -1,0 +1,101 @@
+// Bit-packed row encoding for the run-based scan layer.
+//
+// RowBits converts one row of a binary ConstImageView (nonzero = foreground)
+// into 64-pixel machine words: bit i of word w answers "is pixel
+// col_begin + 64*w + i foreground?". Packing is branchless — eight uint8
+// pixels collapse into eight mask bits per step via a multiply-gather — so
+// the foreground/background decision that the pixel scan kernels pay one
+// branch per pixel for becomes pure word arithmetic. The run extractor
+// (core/runs.hpp) then walks the words with countr_zero/countr_one, touching
+// each word once regardless of its contents.
+//
+// Views are pitch-strided, so ROI subviews and caller-owned padded buffers
+// encode exactly like packed rasters: encode() reads only the requested
+// [col_begin, col_end) window of the addressed row and never the padding
+// (the ASan suite pins this on sentinel-guarded subviews).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "image/view.hpp"
+
+namespace paremsp {
+
+/// Reusable encoder for one row window. The word buffer is grown once to
+/// the widest row seen and reused allocation-free after that (RunBuffer
+/// pools one per scan, see core/runs.hpp).
+class RowBits {
+ public:
+  /// Pack eight consecutive uint8 pixels into eight bits (bit j set iff
+  /// p[j] != 0). Little-endian byte gather: collapse every byte to its
+  /// low bit, then the multiply shifts byte j's bit to position 56+j.
+  [[nodiscard]] static std::uint64_t pack8(const std::uint8_t* p) noexcept {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::uint64_t v;
+      std::memcpy(&v, p, sizeof v);
+      v |= v >> 4;
+      v |= v >> 2;
+      v |= v >> 1;
+      v &= 0x0101010101010101ULL;
+      return (v * 0x0102040810204080ULL) >> 56;
+    } else {
+      std::uint64_t bits = 0;
+      for (int j = 0; j < 8; ++j) {
+        bits |= static_cast<std::uint64_t>(p[j] != 0) << j;
+      }
+      return bits;
+    }
+  }
+
+  /// Encode the [col_begin, col_end) window of image row r. Afterwards
+  /// words()[w] bit i corresponds to column col_begin + 64*w + i; unused
+  /// high bits of the tail word are zero (run extraction relies on it).
+  void encode(ConstImageView image, Coord r, Coord col_begin, Coord col_end) {
+    width_ = col_end - col_begin;
+    const std::size_t nwords =
+        (static_cast<std::size_t>(width_) + 63) / 64;
+    if (words_.size() < nwords) words_.resize(nwords);
+    const std::uint8_t* px = image.row(r) + col_begin;
+    Coord c = 0;
+    std::size_t w = 0;
+    for (; c + 64 <= width_; c += 64, ++w) {
+      std::uint64_t word = 0;
+      for (int k = 0; k < 64; k += 8) {
+        word |= pack8(px + c + k) << k;
+      }
+      words_[w] = word;
+    }
+    if (c < width_) {
+      std::uint64_t word = 0;
+      int bit = 0;
+      for (; c + 8 <= width_; c += 8, bit += 8) {
+        word |= pack8(px + c) << bit;
+      }
+      for (; c < width_; ++c, ++bit) {
+        word |= static_cast<std::uint64_t>(px[c] != 0) << bit;
+      }
+      words_[w++] = word;
+    }
+    used_words_ = w;
+  }
+
+  /// The packed words of the last encode() (exactly ceil(width/64) many).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return {words_.data(), used_words_};
+  }
+
+  /// Window width of the last encode().
+  [[nodiscard]] Coord width() const noexcept { return width_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t used_words_ = 0;
+  Coord width_ = 0;
+};
+
+}  // namespace paremsp

@@ -69,6 +69,18 @@ TEST_P(ExhaustiveShape, AllAlgorithmsMatchOracleOnEveryImage) {
       TiledParemspConfig{.tile_rows = 1, .tile_cols = 1}));
   fused.push_back(std::make_unique<TiledParemspLabeler>(
       TiledParemspConfig{.tile_rows = 2, .tile_cols = 3}));
+  // Run-based configurations: degenerate tile grids chop every run down
+  // to tile width, so the boundary-run seam merges and the run renumber
+  // see maximal fragmentation on every mask configuration.
+  fused.push_back(std::make_unique<AremspRleLabeler>());
+  fused.push_back(
+      std::make_unique<ParemspRleLabeler>(RleConfig{.threads = 2}));
+  fused.push_back(
+      std::make_unique<ParemspRleLabeler>(RleConfig{.threads = 3}));
+  fused.push_back(std::make_unique<TiledParemspRleLabeler>(
+      RleConfig{.tile_rows = 1, .tile_cols = 1}));
+  fused.push_back(std::make_unique<TiledParemspRleLabeler>(
+      RleConfig{.tile_rows = 2, .tile_cols = 3}));
 
   const std::uint64_t total = 1ULL << nbits;
   for (std::uint64_t bits = 0; bits < total; bits += stride) {

@@ -16,7 +16,7 @@ namespace {
 
 TEST(Registry, CatalogIsCompleteAndUnique) {
   const auto catalog = algorithm_catalog();
-  EXPECT_EQ(catalog.size(), 10u);
+  EXPECT_EQ(catalog.size(), 13u);
   std::set<std::string_view> names;
   std::set<Algorithm> ids;
   for (const auto& info : catalog) {
@@ -43,7 +43,30 @@ TEST(Registry, ParallelAlgorithmsAreFlagged) {
   for (const auto& info : algorithm_catalog()) {
     if (info.parallel) parallel.insert(info.name);
   }
-  EXPECT_EQ(parallel, (std::set<std::string_view>{"paremsp", "paremsp2d", "psuzuki"}));
+  EXPECT_EQ(parallel,
+            (std::set<std::string_view>{"paremsp", "paremsp2d", "psuzuki",
+                                        "paremsp_rle", "paremsp2d_rle"}));
+}
+
+TEST(Registry, RleAlgorithmsAreCatalogedForTheRegistryDrivenSuites) {
+  // The exhaustive / differential / metamorphic suites enumerate
+  // algorithm_catalog(), so cataloging the run-based algorithms IS what
+  // opts them into those suites — this test pins that they are present
+  // with the flags those suites key off (both connectivities, fused
+  // stats, scratch reuse).
+  for (const auto name : {"aremsp_rle", "paremsp_rle", "paremsp2d_rle"}) {
+    const Algorithm id = algorithm_from_name(name);
+    const AlgorithmInfo& info = algorithm_info(id);
+    EXPECT_TRUE(info.supports_four_connectivity) << name;
+    EXPECT_TRUE(info.fused_stats) << name;
+    EXPECT_TRUE(info.scratch_reuse) << name;
+    EXPECT_FALSE(info.proposed_in_paper) << name;  // extension, not paper
+    const auto labeler = make_labeler(id);
+    EXPECT_EQ(labeler->name(), info.name);
+  }
+  EXPECT_EQ(algorithm_info(Algorithm::AremspRle).parallel, false);
+  EXPECT_EQ(algorithm_info(Algorithm::ParemspRle).parallel, true);
+  EXPECT_EQ(algorithm_info(Algorithm::ParemspTiledRle).parallel, true);
 }
 
 TEST(Registry, NamesRoundTrip) {

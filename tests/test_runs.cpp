@@ -1,0 +1,411 @@
+// The run-based scan layer: RowBits word packing, RunBuffer extraction
+// edge cases (cross-checked against a naive per-pixel extractor),
+// pitch-strided ROI subviews, and the rle labelers' bit-identity with
+// their pixel-scan twins — including fused stats and the engine's sharded
+// ShardScan::Runs pipeline.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/component_stats.hpp"
+#include "analysis/equivalence.hpp"
+#include "analysis/validation.hpp"
+#include "core/aremsp.hpp"
+#include "core/cclremsp.hpp"
+#include "core/label_scratch.hpp"
+#include "core/paremsp.hpp"
+#include "core/paremsp_tiled.hpp"
+#include "core/registry.hpp"
+#include "core/rle_labelers.hpp"
+#include "core/runs.hpp"
+#include "engine/engine.hpp"
+#include "fixtures.hpp"
+#include "image/generators.hpp"
+#include "image/row_bits.hpp"
+
+namespace paremsp {
+namespace {
+
+/// Naive per-pixel run extractor: the oracle RunBuffer::extract (RowBits
+/// words + countr walking) must reproduce exactly.
+std::vector<Run> naive_runs(ConstImageView image, Coord row_begin,
+                            Coord row_end, Coord col_begin, Coord col_end) {
+  std::vector<Run> runs;
+  for (Coord r = row_begin; r < row_end; ++r) {
+    Coord c = col_begin;
+    while (c < col_end) {
+      if (image(r, c) == 0) {
+        ++c;
+        continue;
+      }
+      const Coord begin = c;
+      while (c < col_end && image(r, c) != 0) ++c;
+      runs.push_back(Run{r, begin, c, 0});
+    }
+  }
+  return runs;
+}
+
+void expect_extraction_matches_naive(ConstImageView image, Coord row_begin,
+                                     Coord row_end, Coord col_begin,
+                                     Coord col_end,
+                                     const std::string& context) {
+  RunBuffer buffer;
+  buffer.extract(image, row_begin, row_end, col_begin, col_end);
+  const std::vector<Run> want =
+      naive_runs(image, row_begin, row_end, col_begin, col_end);
+  const auto got = buffer.all();
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].row, want[i].row) << context << " run " << i;
+    EXPECT_EQ(got[i].col_begin, want[i].col_begin) << context << " run " << i;
+    EXPECT_EQ(got[i].col_end, want[i].col_end) << context << " run " << i;
+  }
+  // row() slices must partition all() in row order.
+  std::size_t counted = 0;
+  for (Coord r = row_begin; r < row_end; ++r) {
+    for (const Run& run : buffer.row(r)) {
+      EXPECT_EQ(run.row, r) << context;
+      ++counted;
+    }
+  }
+  EXPECT_EQ(counted, got.size()) << context;
+}
+
+TEST(RowBits, Pack8MatchesPerPixel) {
+  const std::uint8_t px[8] = {0, 1, 0, 255, 7, 0, 0, 128};
+  const std::uint64_t bits = RowBits::pack8(px);
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_EQ((bits >> j) & 1u, px[j] != 0 ? 1u : 0u) << "bit " << j;
+  }
+  EXPECT_EQ(bits >> 8, 0u);  // nothing above the eight pixel bits
+}
+
+TEST(RowBits, EncodeZeroPadsTheTailWord) {
+  const BinaryImage image(1, 70, 1);  // all foreground, 70 = 64 + 6
+  RowBits bits;
+  bits.encode(image, 0, 0, 70);
+  ASSERT_EQ(bits.words().size(), 2u);
+  EXPECT_EQ(bits.words()[0], ~std::uint64_t{0});
+  EXPECT_EQ(bits.words()[1], (std::uint64_t{1} << 6) - 1);  // only 6 bits
+}
+
+TEST(Runs, ExtractionEdgeWidthsMatchNaive) {
+  // Widths straddling the 64-pixel word size, including the exact
+  // boundary, one under/over, and multi-word rows.
+  const std::vector<Coord> widths = {1,  2,  7,  63, 64, 65,
+                                     97, 127, 128, 130, 191, 257};
+  for (const Coord width : widths) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+      const BinaryImage image = gen::uniform_noise(3, width, 0.5, seed);
+      expect_extraction_matches_naive(image, 0, 3, 0, width,
+                                      "width " + std::to_string(width) +
+                                          " seed " + std::to_string(seed));
+    }
+    // All-foreground: one maximal run spanning every word boundary.
+    const BinaryImage full(2, width, 1);
+    RunBuffer buffer;
+    buffer.extract(full, 0, 2, 0, width);
+    ASSERT_EQ(buffer.size(), 2u) << width;
+    EXPECT_EQ(buffer.row(0).front().col_begin, 0) << width;
+    EXPECT_EQ(buffer.row(0).front().col_end, width) << width;
+    // All-background: no runs at all.
+    const BinaryImage empty(2, width, 0);
+    buffer.extract(empty, 0, 2, 0, width);
+    EXPECT_EQ(buffer.size(), 0u) << width;
+    // Alternating 1-pixel runs: the worst case for run counts.
+    BinaryImage alt(1, width);
+    for (Coord c = 0; c < width; c += 2) alt(0, c) = 1;
+    buffer.extract(alt, 0, 1, 0, width);
+    EXPECT_EQ(buffer.size(), static_cast<std::size_t>((width + 1) / 2))
+        << width;
+    for (const paremsp::Run& run : buffer.row(0)) {  // qualified: gtest's
+      EXPECT_EQ(run.length(), 1) << width;           // Test::Run shadows it
+      EXPECT_EQ(run.col_begin % 2, 0) << width;
+    }
+    expect_extraction_matches_naive(alt, 0, 1, 0, width,
+                                    "alternating width " +
+                                        std::to_string(width));
+  }
+}
+
+TEST(Runs, ExtractionOnPitchStridedSubviews) {
+  // A centered ROI of a larger raster: pitch > cols, so every row read
+  // must honor the stride and never touch the surrounding margin
+  // (ASan-clean by construction of the parent raster).
+  const BinaryImage parent = gen::uniform_noise(40, 200, 0.45, 99);
+  const ConstImageView whole = parent;
+  for (const auto& [r0, c0, nr, nc] :
+       std::vector<std::array<Coord, 4>>{{3, 5, 20, 130},
+                                         {0, 0, 40, 200},
+                                         {10, 70, 1, 65},
+                                         {39, 199, 1, 1},
+                                         {7, 64, 9, 64}}) {
+    const ConstImageView roi = whole.subview(r0, c0, nr, nc);
+    // Extraction over the ROI view (ROI-local coordinates).
+    expect_extraction_matches_naive(roi, 0, nr, 0, nc,
+                                    "roi " + std::to_string(r0) + "," +
+                                        std::to_string(c0) + " " +
+                                        std::to_string(nr) + "x" +
+                                        std::to_string(nc));
+    // And windowed extraction of the parent over the same rectangle must
+    // produce the same runs shifted by the ROI origin.
+    RunBuffer from_roi;
+    from_roi.extract(roi, 0, nr, 0, nc);
+    RunBuffer from_parent;
+    from_parent.extract(whole, r0, r0 + nr, c0, c0 + nc);
+    ASSERT_EQ(from_roi.size(), from_parent.size());
+    const auto a = from_roi.all();
+    const auto b = from_parent.all();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].row + r0, b[i].row);
+      EXPECT_EQ(a[i].col_begin + c0, b[i].col_begin);
+      EXPECT_EQ(a[i].col_end + c0, b[i].col_end);
+    }
+  }
+}
+
+TEST(Runs, BufferReuseAcrossShrinkingImages) {
+  // A pooled RunBuffer must forget stale rows/runs when reused on a
+  // smaller rectangle (the LabelScratch reuse path).
+  RunBuffer buffer;
+  const BinaryImage big(10, 100, 1);
+  buffer.extract(big, 0, 10, 0, 100);
+  EXPECT_EQ(buffer.size(), 10u);
+  const BinaryImage small(2, 5, 1);
+  buffer.extract(small, 0, 2, 0, 5);
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.row(0).size(), 1u);
+  EXPECT_EQ(buffer.row(1).front().col_end, 5);
+  buffer.extract(small, 0, 2, 0, 5);  // idempotent on reuse
+  EXPECT_EQ(buffer.size(), 2u);
+}
+
+// --- Bit-identity with the pixel-scan twins ---------------------------------
+
+/// All rle labelers under test, by name, with forced multi-chunk /
+/// degenerate-tile configurations (1-core CI hosts would otherwise run
+/// everything single-threaded/one-tile).
+std::vector<std::pair<std::string, std::unique_ptr<Labeler>>> rle_matrix(
+    Connectivity connectivity) {
+  std::vector<std::pair<std::string, std::unique_ptr<Labeler>>> m;
+  m.emplace_back("aremsp_rle",
+                 std::make_unique<AremspRleLabeler>(connectivity));
+  for (const int threads : {2, 3}) {
+    m.emplace_back("paremsp_rle t" + std::to_string(threads),
+                   std::make_unique<ParemspRleLabeler>(
+                       RleConfig{.threads = threads}, connectivity));
+  }
+  for (const auto& [tr, tc] :
+       std::vector<std::pair<Coord, Coord>>{{1, 1}, {2, 3}, {5, 4}, {64, 64}}) {
+    m.emplace_back("paremsp2d_rle " + std::to_string(tr) + "x" +
+                       std::to_string(tc),
+                   std::make_unique<TiledParemspRleLabeler>(
+                       RleConfig{.tile_rows = tr, .tile_cols = tc},
+                       connectivity));
+  }
+  return m;
+}
+
+TEST(Runs, EightConnRleBitIdenticalToAremspOnFixtures) {
+  const AremspLabeler reference;
+  const auto matrix = rle_matrix(Connectivity::Eight);
+  for (const auto& fixture : testing::fixtures()) {
+    const LabelingResult want = reference.label(fixture.image);
+    ASSERT_EQ(want.num_components, fixture.components8) << fixture.name;
+    for (const auto& [name, labeler] : matrix) {
+      const LabelingResult got = labeler->label(fixture.image);
+      EXPECT_EQ(got.num_components, want.num_components)
+          << name << " on " << fixture.name;
+      EXPECT_EQ(got.labels, want.labels) << name << " on " << fixture.name;
+    }
+  }
+}
+
+TEST(Runs, EightConnRleBitIdenticalToAremspOnRandomMatrix) {
+  const AremspLabeler reference;
+  const auto matrix = rle_matrix(Connectivity::Eight);
+  for (const auto& [rows, cols] : std::vector<std::pair<Coord, Coord>>{
+           {1, 1}, {1, 130}, {67, 1}, {9, 17}, {31, 130}, {64, 64}}) {
+    for (const double density : {0.05, 0.5, 0.95}) {
+      const BinaryImage image =
+          gen::uniform_noise(rows, cols, density,
+                             static_cast<std::uint64_t>(rows * 1000 + cols));
+      const LabelingResult want = reference.label(image);
+      for (const auto& [name, labeler] : matrix) {
+        const LabelingResult got = labeler->label(image);
+        const std::string context = name + " " + std::to_string(rows) + "x" +
+                                    std::to_string(cols) + " d" +
+                                    std::to_string(density);
+        EXPECT_EQ(got.num_components, want.num_components) << context;
+        EXPECT_EQ(got.labels, want.labels) << context;
+      }
+    }
+  }
+}
+
+TEST(Runs, FourConnRleBitIdenticalToCclremsp) {
+  // 4-connectivity numbers components in raster first-appearance order —
+  // the numbering of the one-line pixel algorithms — so the rle output
+  // must match CCLREMSP bit for bit, for every rle configuration.
+  const CclremspLabeler reference(Connectivity::Four);
+  const auto matrix = rle_matrix(Connectivity::Four);
+  for (const auto& fixture : testing::fixtures()) {
+    const LabelingResult want = reference.label(fixture.image);
+    ASSERT_EQ(want.num_components, fixture.components4) << fixture.name;
+    for (const auto& [name, labeler] : matrix) {
+      const LabelingResult got = labeler->label(fixture.image);
+      EXPECT_EQ(got.labels, want.labels) << name << " on " << fixture.name;
+      EXPECT_EQ(got.num_components, want.num_components)
+          << name << " on " << fixture.name;
+    }
+  }
+}
+
+TEST(Runs, FusedStatsMatchPostPassOracleAcrossConfigurations) {
+  for (const Connectivity connectivity :
+       {Connectivity::Eight, Connectivity::Four}) {
+    const auto matrix = rle_matrix(connectivity);
+    for (const std::uint64_t seed : {11ULL, 12ULL}) {
+      const BinaryImage image = gen::uniform_noise(29, 70, 0.55, seed);
+      for (const auto& [name, labeler] : matrix) {
+        const LabelingWithStats ws = labeler->label_with_stats(image);
+        const LabelingResult plain = labeler->label(image);
+        const std::string context =
+            name + " " + to_string(connectivity) + " seed " +
+            std::to_string(seed);
+        EXPECT_EQ(ws.labeling.labels, plain.labels) << context;
+        testing::expect_stats_identical(
+            ws.stats,
+            analysis::compute_stats(ws.labeling.labels,
+                                    ws.labeling.num_components),
+            context);
+      }
+    }
+  }
+}
+
+TEST(Runs, RleLabelIntoReusesScratchAllocationFree) {
+  // Same contract as the pixel algorithms' scratch_reuse flag: after the
+  // high-water-mark image has been seen once, repeated label_into calls
+  // must not grow the scratch again.
+  for (const auto name : {"aremsp_rle", "paremsp_rle", "paremsp2d_rle"}) {
+    const auto labeler = make_labeler(algorithm_from_name(name));
+    LabelScratch scratch;
+    const BinaryImage image = gen::landcover_like(96, 96, 5);
+    LabelingResult first = labeler->label_into(image, scratch);
+    scratch.recycle_plane(std::move(first.labels));
+    const auto grows_after_warmup = scratch.grow_count();
+    for (int i = 0; i < 3; ++i) {
+      LabelingResult again = labeler->label_into(image, scratch);
+      scratch.recycle_plane(std::move(again.labels));
+    }
+    EXPECT_EQ(scratch.grow_count(), grows_after_warmup) << name;
+  }
+}
+
+// --- Sharded engine: ShardScan::Runs ----------------------------------------
+
+TEST(Sharded, RunScanBitIdenticalToAremspAcrossGeometries) {
+  const Coord rows = 61, cols = 83;
+  const AremspLabeler reference;
+  engine::LabelingEngine eng({.workers = 2});
+  for (const auto& [tr, tc] : std::vector<std::pair<Coord, Coord>>{
+           {1, cols}, {rows, 1}, {7, 9}, {1024, 1024}, {1, 1}, {16, 16}}) {
+    for (const std::uint64_t seed : {0ULL, 1ULL, 3ULL}) {
+      const BinaryImage image =
+          seed == 1 ? gen::spiral(rows, cols, 2, 3)
+                    : gen::uniform_noise(rows, cols, 0.5, seed + 7);
+      const LabelingResult want = reference.label(image);
+      const LabelingResult got = eng.label_sharded(
+          image, engine::ShardOptions{.tile_rows = tr,
+                                      .tile_cols = tc,
+                                      .scan = ShardScan::Runs});
+      const std::string context = "tiles " + std::to_string(tr) + "x" +
+                                  std::to_string(tc) + " seed " +
+                                  std::to_string(seed);
+      EXPECT_EQ(got.num_components, want.num_components) << context;
+      EXPECT_EQ(got.labels, want.labels) << context;
+    }
+  }
+}
+
+TEST(Sharded, RunScanWithStatsMatchesPostPassOracle) {
+  engine::LabelingEngine eng({.workers = 2});
+  const BinaryImage image = gen::landcover_like(64, 96, 21);
+  const LabelingWithStats got = eng.label_sharded_with_stats(
+      image, engine::ShardOptions{.tile_rows = 16,
+                                  .tile_cols = 16,
+                                  .scan = ShardScan::Runs});
+  testing::expect_stats_identical(
+      got.stats,
+      analysis::compute_stats(got.labeling.labels,
+                              got.labeling.num_components),
+      "sharded runs with stats");
+}
+
+TEST(Sharded, RunScanSupportsFourConnectivityViaRequestOverride) {
+  // The pixel sharded pipeline is tiled AREMSP and rejects 4-conn; the
+  // run pipeline is validated against paremsp2d_rle, which admits it.
+  engine::LabelingEngine eng({.workers = 2});
+  const BinaryImage image = gen::uniform_noise(40, 56, 0.5, 5);
+  LabelRequest request;
+  request.input = image;
+  request.connectivity = Connectivity::Four;
+  request.shard = ShardOptions{.tile_rows = 13,
+                               .tile_cols = 11,
+                               .scan = ShardScan::Runs};
+  const LabelResponse response = eng.submit(request).get();
+  const LabelingResult want =
+      AremspRleLabeler(Connectivity::Four).label(image);
+  EXPECT_EQ(response.num_components, want.num_components);
+  EXPECT_EQ(response.labels, want.labels);
+  const auto v = analysis::validate_labeling(
+      image, response.labels, response.num_components, Connectivity::Four);
+  EXPECT_TRUE(v.ok) << v.error;
+
+  // Pixel shards keep rejecting 4-connectivity with the uniform error.
+  LabelRequest pixel = request;
+  pixel.shard = ShardOptions{.tile_rows = 13, .tile_cols = 11};
+  EXPECT_THROW((void)eng.submit(pixel), PreconditionError);
+}
+
+TEST(Sharded, RunScanLabelOutAndDegenerateImages) {
+  engine::LabelingEngine eng({.workers = 2});
+  // label_out routed through the per-tile rewrite (strided destination).
+  const BinaryImage image = gen::uniform_noise(24, 30, 0.5, 9);
+  LabelImage big(30, 40, -1);
+  LabelRequest request;
+  request.input = image;
+  request.label_out = MutableImageView(big).subview(2, 3, 24, 30);
+  request.shard = ShardOptions{.tile_rows = 7,
+                               .tile_cols = 8,
+                               .scan = ShardScan::Runs};
+  const LabelResponse response = eng.submit(request).get();
+  EXPECT_TRUE(response.labels.empty());
+  const LabelingResult want = AremspLabeler().label(image);
+  for (Coord r = 0; r < 24; ++r) {
+    for (Coord c = 0; c < 30; ++c) {
+      ASSERT_EQ(big(r + 2, c + 3), want.labels(r, c)) << r << "," << c;
+    }
+  }
+  // The margin must be untouched.
+  EXPECT_EQ(big(0, 0), -1);
+  EXPECT_EQ(big(29, 39), -1);
+
+  // Degenerate inputs complete cleanly.
+  for (const auto& [rows, cols] :
+       std::vector<std::pair<Coord, Coord>>{{0, 0}, {0, 5}, {5, 0}, {1, 1}}) {
+    const BinaryImage degenerate(rows, cols, 1);
+    const LabelingResult got = eng.label_sharded(
+        degenerate, engine::ShardOptions{.scan = ShardScan::Runs});
+    EXPECT_EQ(got.num_components, rows > 0 && cols > 0 ? 1 : 0);
+  }
+}
+
+}  // namespace
+}  // namespace paremsp
