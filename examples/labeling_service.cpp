@@ -12,11 +12,28 @@
 // live stats line (throughput, p50/p99 latency, arena state) while the
 // flood runs, then shuts the engine down cleanly and reports totals.
 //
-//   $ ./labeling_service --producers 4 --requests 200 --workers 0
+// Observability surfaces (all optional flags):
+//   --trace out.json         record the whole flood in a TraceSession and
+//                            write a Perfetto-loadable Chrome trace (one
+//                            track per engine worker)
+//   --prom out.prom          Prometheus text exposition of the metrics
+//                            registry after the run
+//   --metrics-json out.json  the same snapshot as JSON
+//   --sharded 1              also push one run-scan sharded request
+//                            through the pool (the four shard.* phases
+//                            show up per worker in the trace)
+// The run always ends with a timings reconcile: one large request's
+// phase sums must match its end-to-end time within 5%.
+//
+//   $ ./labeling_service --producers 4 --requests 200 --workers 0 \
+//       --trace trace.json --prom metrics.prom
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -24,6 +41,9 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/paremsp_all.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -59,10 +79,18 @@ int main(int argc, char** argv) {
   cli.add_option("workers", "0", "engine workers (0 = hardware)");
   cli.add_option("queue", "64", "job-queue capacity (backpressure bound)");
   cli.add_option("algorithm", "aremsp", "registry algorithm to serve with");
+  cli.add_option("trace", "", "write a Chrome trace JSON of the run here");
+  cli.add_option("prom", "", "write Prometheus text metrics here");
+  cli.add_option("metrics-json", "", "write a JSON metrics snapshot here");
+  cli.add_option("sharded", "1", "also run one sharded run-scan request");
   if (!cli.parse(argc, argv)) return 0;
 
   const int producers = cli.get_int("producers");
   const int requests = cli.get_int("requests");
+  const std::string trace_path = cli.get("trace");
+  const std::string prom_path = cli.get("prom");
+  const std::string metrics_json_path = cli.get("metrics-json");
+  const bool sharded_side = cli.get_int("sharded") != 0;
 
   engine::EngineConfig config;
   config.workers = cli.get_int("workers");
@@ -72,6 +100,11 @@ int main(int argc, char** argv) {
   std::cout << "engine: " << eng.workers() << " worker(s), queue capacity "
             << config.queue_capacity << ", algorithm "
             << algorithm_info(config.algorithm).name << "\n";
+
+  // The session (when asked for) covers the flood, the sharded request
+  // and the reconcile request, so every span lands in one trace file.
+  std::unique_ptr<obs::TraceSession> session;
+  if (!trace_path.empty()) session = std::make_unique<obs::TraceSession>();
 
   std::atomic<int> done_producers{0};
   std::atomic<int> wrong_counts{0};
@@ -131,7 +164,91 @@ int main(int argc, char** argv) {
               << " ms\n";
   }
   for (std::thread& c : clients) c.join();
+
+  // One run-scan sharded request across the pool: the shard.scan /
+  // shard.merge / shard.flatten / shard.rewrite spans appear on every
+  // worker's trace track.
+  if (sharded_side) {
+    const BinaryImage huge = gen::landcover_like(768, 768, 99);
+    LabelRequest request;
+    request.input = huge;
+    request.shard = ShardOptions{
+        .tile_rows = 256, .tile_cols = 256, .scan = ShardScan::Runs};
+    LabelResponse response = eng.submit(std::move(request)).get();
+    const PhaseCounters& c = response.timings.counters;
+    std::cout << "sharded run-scan: " << response.num_components
+              << " components over " << c.tiles << " tiles, "
+              << c.runs_extracted << " runs, " << c.total_unions()
+              << " unions (" << c.merge_retries << " retried), queue wait "
+              << TextTable::num(response.timings.queue_wait_ms, 3) << " ms\n";
+    eng.recycle(std::move(response.labels));
+  }
+
+  // Reconcile: an instrumented request's four phase timers must cover its
+  // end-to-end wall time within 5% — the per-phase numbers are only worth
+  // exporting if they actually add up. Large image so the phases dwarf
+  // timer overhead; best mismatch of a few attempts rides out scheduler
+  // noise.
+  bool reconcile_ok = true;
+  {
+    const BinaryImage big = gen::landcover_like(1024, 1024, 7);
+    double best_error = 1.0;
+    double sum_ms = 0.0;
+    double total_ms = 0.0;
+    bool instrumented = false;
+    for (int attempt = 0; attempt < 3 && best_error > 0.05; ++attempt) {
+      LabelRequest request;
+      request.input = big;
+      LabelResponse response = eng.submit(std::move(request)).get();
+      if (response.timings.counters.provisional_labels == 0) break;
+      instrumented = true;
+      const double total = response.timings.total_ms;
+      const double sum = response.timings.phase_sum_ms();
+      const double error =
+          total > 0.0 ? std::abs(total - sum) / total : 1.0;
+      if (error < best_error) {
+        best_error = error;
+        sum_ms = sum;
+        total_ms = total;
+      }
+      eng.recycle(std::move(response.labels));
+    }
+    if (instrumented) {
+      reconcile_ok = best_error <= 0.05;
+      std::cout << "phase reconcile: sum " << TextTable::num(sum_ms, 3)
+                << " ms vs total " << TextTable::num(total_ms, 3) << " ms ("
+                << TextTable::num(best_error * 100.0, 2) << "% apart): "
+                << (reconcile_ok ? "OK" : "FAIL") << "\n";
+    } else {
+      std::cout << "phase reconcile: skipped ("
+                << algorithm_info(config.algorithm).name
+                << " does not fill phase counters)\n";
+    }
+  }
+
   eng.shutdown();
+
+  if (session) {
+    const obs::TraceReport report = session->stop();
+    std::ofstream out(trace_path);
+    obs::write_chrome_trace(out, report, "labeling_service");
+    std::cout << "wrote " << trace_path << " (" << report.total_events()
+              << " events, " << report.total_dropped() << " dropped)\n";
+  }
+  if (!prom_path.empty() || !metrics_json_path.empty()) {
+    eng.publish_metrics();
+    const obs::MetricsSnapshot snap = obs::metrics_snapshot();
+    if (!prom_path.empty()) {
+      std::ofstream out(prom_path);
+      obs::write_prometheus_text(out, snap);
+      std::cout << "wrote " << prom_path << "\n";
+    }
+    if (!metrics_json_path.empty()) {
+      std::ofstream out(metrics_json_path);
+      obs::write_metrics_json(out, snap);
+      std::cout << "wrote " << metrics_json_path << "\n";
+    }
+  }
 
   const auto s = eng.stats();
   TextTable table("service totals");
@@ -152,6 +269,10 @@ int main(int argc, char** argv) {
 
   if (wrong_counts.load() > 0) {
     std::cerr << wrong_counts.load() << " spot-check(s) failed\n";
+    return 1;
+  }
+  if (!reconcile_ok) {
+    std::cerr << "phase timings do not reconcile with end-to-end latency\n";
     return 1;
   }
   std::cout << "all spot-checks matched the direct labeler\n";

@@ -11,6 +11,7 @@
 //   Label used()               — number of labels issued
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "common/types.hpp"
@@ -23,10 +24,15 @@ namespace paremsp {
 /// REM-with-splicing policy over a caller-owned parent array (REMSP).
 /// `base` offsets the label space: thread t of PAREMSP passes
 /// base = first_row * cols so chunks never collide (Algorithm 7 line 7).
+/// A non-null `joins` accumulates how many merge() calls joined two
+/// distinct trees (PhaseCounters::scan_unions); the pointer is only
+/// dereferenced at actual root links, so the disinterested path costs one
+/// predictable branch.
 class RemEquiv {
  public:
-  explicit RemEquiv(std::span<Label> p, Label base = 0) noexcept
-      : p_(p), base_(base) {}
+  explicit RemEquiv(std::span<Label> p, Label base = 0,
+                    std::uint64_t* joins = nullptr) noexcept
+      : p_(p), base_(base), joins_(joins) {}
 
   Label new_label() noexcept {
     const Label l = base_ + (++used_);
@@ -34,7 +40,7 @@ class RemEquiv {
     return l;
   }
   Label merge(Label a, Label b) noexcept {
-    return uf::rem_unite(p_.data(), a, b);
+    return uf::rem_unite(p_.data(), a, b, joins_);
   }
   [[nodiscard]] Label copy(Label a) const noexcept { return p_[a]; }
   [[nodiscard]] Label used() const noexcept { return used_; }
@@ -42,6 +48,7 @@ class RemEquiv {
  private:
   std::span<Label> p_;
   Label base_;
+  std::uint64_t* joins_;
   Label used_ = 0;
 };
 

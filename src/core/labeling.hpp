@@ -16,6 +16,7 @@
 // exercise run() through them on every call.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 
@@ -50,6 +51,28 @@ enum class Algorithm {
   ParemspTiledRle, // extension: run-based 2-D tiled PAREMSP
 };
 
+/// Work counters accompanying the phase timings — how much each phase
+/// DID, not just how long it took, so a perf regression decomposes into
+/// "more work" vs "slower work". Filled by the REMSP labelers; baselines
+/// leave them zero. Invariant (asserted by tests/test_obs.cpp): every
+/// successful union joins two distinct REM trees, so
+///   scan_unions + merge_unions == provisional_labels - num_components
+/// exactly, for every chunking, tile geometry, and merge backend.
+struct PhaseCounters {
+  Label provisional_labels = 0;      // labels issued by Phase I
+  std::uint64_t scan_unions = 0;     // trees joined during the local scans
+  std::uint64_t merge_pairs = 0;     // equivalences fed to the seam merger
+  std::uint64_t merge_unions = 0;    // of those, how many joined trees
+  std::uint64_t merge_retries = 0;   // lock re-check / CAS failures (backend
+                                     // contention; 0 for Sequential)
+  std::uint64_t runs_extracted = 0;  // maximal runs (rle pipelines only)
+  std::uint64_t tiles = 0;           // tiles / chunks / shards scanned
+
+  [[nodiscard]] std::uint64_t total_unions() const noexcept {
+    return scan_unions + merge_unions;
+  }
+};
+
 /// Wall-clock breakdown of one labeling run, in milliseconds.
 struct PhaseTimings {
   double scan_ms = 0.0;     // Phase I: provisional labels + local equivalences
@@ -57,12 +80,22 @@ struct PhaseTimings {
   double flatten_ms = 0.0;  // analysis phase (FLATTEN / table resolution)
   double relabel_ms = 0.0;  // final labeling pass
   double total_ms = 0.0;    // end-to-end, >= sum of the phases
+  // Time the request sat in the engine's JobQueue before a worker picked
+  // it up. Always 0 for direct Labeler::run() calls; the engine fills it,
+  // and it is NOT part of total_ms (which clocks the labeling itself).
+  double queue_wait_ms = 0.0;
+  PhaseCounters counters;
 
   /// Phase-I time as plotted in Figure 5a ("local").
   [[nodiscard]] double local_ms() const noexcept { return scan_ms; }
   /// Local + merge time as plotted in Figure 5b.
   [[nodiscard]] double local_plus_merge_ms() const noexcept {
     return scan_ms + merge_ms;
+  }
+  /// Sum of the four phase buckets (reconciles with total_ms to within
+  /// the inter-phase bookkeeping — the service asserts < 5%).
+  [[nodiscard]] double phase_sum_ms() const noexcept {
+    return scan_ms + merge_ms + flatten_ms + relabel_ms;
   }
 };
 

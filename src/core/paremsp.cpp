@@ -13,6 +13,7 @@
 #include "core/label_scratch.hpp"
 #include "core/scan_one_line.hpp"
 #include "core/scan_two_line.hpp"
+#include "obs/trace.hpp"
 #include "unionfind/parallel_rem.hpp"
 #include "unionfind/rem.hpp"
 
@@ -110,6 +111,9 @@ LabelingResult ParemspLabeler::label_impl(ConstImageView image,
                                           analysis::ComponentStats* stats)
     const {
   const WallTimer total;
+  // Opened at entry so workspace acquisition lands in scan_ms and the four
+  // phase timings partition total_ms (the exporters' reconcile contract).
+  WallTimer phase;
   LabelingResult result;
   result.labels =
       scratch.acquire_plane(image.rows(), image.cols(),
@@ -136,11 +140,14 @@ LabelingResult ParemspLabeler::label_impl(ConstImageView image,
 
   // --- Phase I: concurrent chunk-local scans --------------------------------
   const bool two_line = config_.scan == ScanStrategy::TwoLine;
-  WallTimer phase;
+  // Per-chunk join slots: disjoint like the label ranges, summed after the
+  // barrier — the scan loop stays free of shared counters.
+  std::vector<std::uint64_t> chunk_joins(chunks.size(), 0);
 #pragma omp parallel for schedule(static, 1) num_threads(nchunks)
   for (int t = 0; t < nchunks; ++t) {
+    obs::Span span("paremsp.scan.chunk", "tile");
     auto& ch = chunks[static_cast<std::size_t>(t)];
-    RemEquiv eq(p, ch.base);
+    RemEquiv eq(p, ch.base, &chunk_joins[static_cast<std::size_t>(t)]);
     if (stats != nullptr) {
       analysis::FeatureAccumulator sink(cells);
       scan_two_line(image, labels, eq, sink, ch.row_begin, ch.row_end);
@@ -152,28 +159,61 @@ LabelingResult ParemspLabeler::label_impl(ConstImageView image,
     ch.used = eq.used();
   }
   result.timings.scan_ms = phase.elapsed_ms();
+  {
+    auto& counters = result.timings.counters;
+    counters.tiles = chunks.size();
+    for (const auto& ch : chunks) counters.provisional_labels += ch.used;
+    for (const std::uint64_t j : chunk_joins) counters.scan_unions += j;
+  }
 
   // --- Phase II: merge chunk-boundary equivalences -------------------------
   phase.reset();
+  // Merge accounting: each iteration accumulates locally, then one omp
+  // atomic add per boundary row — nothing shared inside the pixel loop.
+  std::uint64_t merge_pairs = 0;
+  std::uint64_t merge_unions = 0;
+  std::uint64_t merge_retries = 0;
   switch (config_.merge_backend) {
     case MergeBackend::LockedRem: {
       uf::LockPool& locks = *locks_;
 #pragma omp parallel for schedule(static, 1) num_threads(nchunks)
       for (int t = 1; t < nchunks; ++t) {
+        obs::Span span("paremsp.merge.boundary", "tile");
+        std::uint64_t pairs = 0;
+        uf::UniteStats us;
         merge_boundary_row(
             labels, chunks[static_cast<std::size_t>(t)].row_begin,
             [&](Label x, Label y) {
-              uf::locked_unite(p.data(), locks, x, y);
+              ++pairs;
+              uf::locked_unite(p.data(), locks, x, y, &us);
             });
+#pragma omp atomic
+        merge_pairs += pairs;
+#pragma omp atomic
+        merge_unions += us.joins;
+#pragma omp atomic
+        merge_retries += us.retries;
       }
       break;
     }
     case MergeBackend::CasRem: {
 #pragma omp parallel for schedule(static, 1) num_threads(nchunks)
       for (int t = 1; t < nchunks; ++t) {
+        obs::Span span("paremsp.merge.boundary", "tile");
+        std::uint64_t pairs = 0;
+        uf::UniteStats us;
         merge_boundary_row(
             labels, chunks[static_cast<std::size_t>(t)].row_begin,
-            [&](Label x, Label y) { uf::cas_unite(p.data(), x, y); });
+            [&](Label x, Label y) {
+              ++pairs;
+              uf::cas_unite(p.data(), x, y, &us);
+            });
+#pragma omp atomic
+        merge_pairs += pairs;
+#pragma omp atomic
+        merge_unions += us.joins;
+#pragma omp atomic
+        merge_retries += us.retries;
       }
       break;
     }
@@ -181,12 +221,18 @@ LabelingResult ParemspLabeler::label_impl(ConstImageView image,
       for (int t = 1; t < nchunks; ++t) {
         merge_boundary_row(
             labels, chunks[static_cast<std::size_t>(t)].row_begin,
-            [&](Label x, Label y) { uf::rem_unite(p.data(), x, y); });
+            [&](Label x, Label y) {
+              ++merge_pairs;
+              uf::rem_unite(p.data(), x, y, &merge_unions);
+            });
       }
       break;
     }
   }
   result.timings.merge_ms = phase.elapsed_ms();
+  result.timings.counters.merge_pairs = merge_pairs;
+  result.timings.counters.merge_unions = merge_unions;
+  result.timings.counters.merge_retries = merge_retries;
 
   // --- Analysis: FLATTEN over each chunk's used label range ----------------
   // Ranges are visited in increasing base order, so every parent (always a
@@ -194,35 +240,39 @@ LabelingResult ParemspLabeler::label_impl(ConstImageView image,
   // out consecutive across chunks exactly as in the sequential algorithm.
   phase.reset();
   Label k = 0;
-  for (const auto& ch : chunks) {
-    const Label lo = ch.base + 1;
-    const Label hi = ch.base + ch.used;
-    for (Label i = lo; i <= hi; ++i) {
-      if (p[i] < i) {
-        p[i] = p[p[i]];
-      } else {
-        p[i] = ++k;
+  {
+    obs::Span span("paremsp.flatten");
+    for (const auto& ch : chunks) {
+      const Label lo = ch.base + 1;
+      const Label hi = ch.base + ch.used;
+      for (Label i = lo; i <= hi; ++i) {
+        if (p[i] < i) {
+          p[i] = p[p[i]];
+        } else {
+          p[i] = ++k;
+        }
       }
     }
-  }
-  result.num_components = k;
-  // Fused analysis: reduce each chunk's cells through the now-resolved
-  // parent table — the boundary merges of Phase II decided which cells
-  // land in the same component. O(labels), no pixel re-read.
-  if (stats != nullptr) {
-    stats->components.assign(static_cast<std::size_t>(k), {});
-    for (const auto& ch : chunks) {
-      if (ch.used == 0) continue;
-      analysis::fold_features(cells, p, ch.base + 1, ch.base + ch.used,
-                              stats->components);
+    result.num_components = k;
+    // Fused analysis: reduce each chunk's cells through the now-resolved
+    // parent table — the boundary merges of Phase II decided which cells
+    // land in the same component. O(labels), no pixel re-read.
+    if (stats != nullptr) {
+      stats->components.assign(static_cast<std::size_t>(k), {});
+      for (const auto& ch : chunks) {
+        if (ch.used == 0) continue;
+        analysis::fold_features(cells, p, ch.base + 1, ch.base + ch.used,
+                                stats->components);
+      }
+      analysis::finalize_components(stats->components);
     }
-    analysis::finalize_components(stats->components);
   }
   result.timings.flatten_ms = phase.elapsed_ms();
 
   // --- Final labeling pass --------------------------------------------------
   phase.reset();
   {
+    obs::Span span("paremsp.relabel");
     const std::int64_t n = labels.size();
     Label* lp = labels.pixels().data();
 #pragma omp parallel for schedule(static) num_threads(nchunks)

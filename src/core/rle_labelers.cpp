@@ -11,6 +11,7 @@
 #include "common/timer.hpp"
 #include "core/label_scratch.hpp"
 #include "core/tiled_phases.hpp"
+#include "obs/trace.hpp"
 #include "unionfind/parallel_rem.hpp"
 #include "unionfind/rem.hpp"
 
@@ -30,6 +31,9 @@ LabelingResult label_runs_impl(ConstImageView image, Connectivity connectivity,
                                MergeBackend merge_backend,
                                uf::LockPool* locks) {
   const WallTimer total;
+  // Opened at entry so workspace acquisition lands in scan_ms and the four
+  // phase timings partition total_ms (the exporters' reconcile contract).
+  WallTimer phase;
   LabelingResult result;
   result.labels = scratch.acquire_plane(image.rows(), image.cols(),
                                         LabelScratch::PlaneInit::Dirty);
@@ -47,65 +51,109 @@ LabelingResult label_runs_impl(ConstImageView image, Connectivity connectivity,
   if (stats != nullptr) cells = scratch.feature_cells(label_space);
 
   // --- Phase I: per-tile run extraction + run merging ----------------------
-  WallTimer phase;
+  // Per-tile join slots (disjoint, summed post-barrier) keep the scan loop
+  // free of shared counters; PhaseCounters fill between the phase timers.
+  std::vector<std::uint64_t> tile_joins(tiles.size(), 0);
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
   for (int t = 0; t < ntiles; ++t) {
+    obs::Span span("rle.scan.tile", "tile");
     auto& tile = tiles[static_cast<std::size_t>(t)];
     auto& runs = tile_runs[static_cast<std::size_t>(t)];
-    tile.used = stats != nullptr
-                    ? scan_tile(image, p, tile, runs, connectivity, cells)
-                    : scan_tile(image, p, tile, runs, connectivity);
+    std::uint64_t* joins = &tile_joins[static_cast<std::size_t>(t)];
+    tile.used =
+        stats != nullptr
+            ? scan_tile(image, p, tile, runs, connectivity, cells, joins)
+            : scan_tile(image, p, tile, runs, connectivity, joins);
   }
   result.timings.scan_ms = phase.elapsed_ms();
+  {
+    auto& counters = result.timings.counters;
+    counters.tiles = tiles.size();
+    for (const auto& tile : tiles) counters.provisional_labels += tile.used;
+    for (const std::uint64_t j : tile_joins) counters.scan_unions += j;
+    for (const auto& runs : tile_runs) counters.runs_extracted += runs.size();
+  }
 
   // --- Phase II: merge boundary runs along tile seams ----------------------
   phase.reset();
   const TileGridShape grid = tile_grid_shape(tiles);
+  std::uint64_t merge_pairs = 0;
+  std::uint64_t merge_unions = 0;
+  std::uint64_t merge_retries = 0;
   switch (merge_backend) {
     case MergeBackend::LockedRem: {
       uf::LockPool& pool = *locks;
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
       for (int t = 0; t < ntiles; ++t) {
+        obs::Span span("rle.merge.tile", "tile");
+        std::uint64_t pairs = 0;
+        uf::UniteStats us;
         merge_run_seams(tiles, tile_runs, static_cast<std::size_t>(t), grid,
                         connectivity, [&](Label x, Label y) {
-                          uf::locked_unite(p.data(), pool, x, y);
+                          ++pairs;
+                          uf::locked_unite(p.data(), pool, x, y, &us);
                         });
+#pragma omp atomic
+        merge_pairs += pairs;
+#pragma omp atomic
+        merge_unions += us.joins;
+#pragma omp atomic
+        merge_retries += us.retries;
       }
       break;
     }
     case MergeBackend::CasRem: {
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
       for (int t = 0; t < ntiles; ++t) {
-        merge_run_seams(
-            tiles, tile_runs, static_cast<std::size_t>(t), grid, connectivity,
-            [&](Label x, Label y) { uf::cas_unite(p.data(), x, y); });
+        obs::Span span("rle.merge.tile", "tile");
+        std::uint64_t pairs = 0;
+        uf::UniteStats us;
+        merge_run_seams(tiles, tile_runs, static_cast<std::size_t>(t), grid,
+                        connectivity, [&](Label x, Label y) {
+                          ++pairs;
+                          uf::cas_unite(p.data(), x, y, &us);
+                        });
+#pragma omp atomic
+        merge_pairs += pairs;
+#pragma omp atomic
+        merge_unions += us.joins;
+#pragma omp atomic
+        merge_retries += us.retries;
       }
       break;
     }
     case MergeBackend::Sequential: {
       for (int t = 0; t < ntiles; ++t) {
-        merge_run_seams(
-            tiles, tile_runs, static_cast<std::size_t>(t), grid, connectivity,
-            [&](Label x, Label y) { uf::rem_unite(p.data(), x, y); });
+        merge_run_seams(tiles, tile_runs, static_cast<std::size_t>(t), grid,
+                        connectivity, [&](Label x, Label y) {
+                          ++merge_pairs;
+                          uf::rem_unite(p.data(), x, y, &merge_unions);
+                        });
       }
       break;
     }
   }
   result.timings.merge_ms = phase.elapsed_ms();
+  result.timings.counters.merge_pairs = merge_pairs;
+  result.timings.counters.merge_unions = merge_unions;
+  result.timings.counters.merge_retries = merge_retries;
 
   // --- FLATTEN + canonical run renumber ------------------------------------
   phase.reset();
-  Label total_used = 0;
-  for (const auto& tile : tiles) total_used += tile.used;
-  std::span<Label> remap =
-      scratch.aux(static_cast<std::size_t>(total_used) + 1);
-  result.num_components = resolve_final_run_labels(
-      p, tiles, {tile_runs.data(), tile_runs.size()}, connectivity,
-      image.rows(), remap);
-  if (stats != nullptr) {
-    stats->components.assign(static_cast<std::size_t>(result.num_components),
-                             {});
-    fold_tile_features(cells, p, tiles, stats->components);
+  {
+    obs::Span span("rle.flatten");
+    Label total_used = 0;
+    for (const auto& tile : tiles) total_used += tile.used;
+    std::span<Label> remap =
+        scratch.aux(static_cast<std::size_t>(total_used) + 1);
+    result.num_components = resolve_final_run_labels(
+        p, tiles, {tile_runs.data(), tile_runs.size()}, connectivity,
+        image.rows(), remap);
+    if (stats != nullptr) {
+      stats->components.assign(
+          static_cast<std::size_t>(result.num_components), {});
+      fold_tile_features(cells, p, tiles, stats->components);
+    }
   }
   result.timings.flatten_ms = phase.elapsed_ms();
 
@@ -113,6 +161,7 @@ LabelingResult label_runs_impl(ConstImageView image, Connectivity connectivity,
   phase.reset();
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
   for (int t = 0; t < ntiles; ++t) {
+    obs::Span span("rle.rewrite.tile", "tile");
     rewrite_run_labels(tile_runs[static_cast<std::size_t>(t)], p,
                        tiles[static_cast<std::size_t>(t)], result.labels);
   }

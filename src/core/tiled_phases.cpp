@@ -30,16 +30,17 @@ std::vector<TileSpec> make_tile_grid(Coord rows, Coord cols, Coord tile_rows,
 }
 
 Label scan_tile(ConstImageView image, LabelImage& labels,
-                std::span<Label> parents, const TileSpec& tile) {
-  RemEquiv eq(parents, tile.base);
+                std::span<Label> parents, const TileSpec& tile,
+                std::uint64_t* joins) {
+  RemEquiv eq(parents, tile.base, joins);
   return scan_two_line(image, labels, eq, tile.row_begin, tile.row_end,
                        tile.col_begin, tile.col_end);
 }
 
 Label scan_tile(ConstImageView image, LabelImage& labels,
                 std::span<Label> parents, const TileSpec& tile,
-                std::span<analysis::FeatureCell> cells) {
-  RemEquiv eq(parents, tile.base);
+                std::span<analysis::FeatureCell> cells, std::uint64_t* joins) {
+  RemEquiv eq(parents, tile.base, joins);
   analysis::FeatureAccumulator sink(cells);
   return scan_two_line(image, labels, eq, sink, tile.row_begin, tile.row_end,
                        tile.col_begin, tile.col_end);
@@ -63,8 +64,8 @@ TileGridShape tile_grid_shape(std::span<const TileSpec> tiles) {
 
 Label scan_tile(ConstImageView image, std::span<Label> parents,
                 const TileSpec& tile, RunBuffer& runs,
-                Connectivity connectivity) {
-  RemEquiv eq(parents, tile.base);
+                Connectivity connectivity, std::uint64_t* joins) {
+  RemEquiv eq(parents, tile.base, joins);
   NoFeatureSink sink;
   return connectivity == Connectivity::Eight
              ? scan_runs_two_line(image, runs, eq, sink, tile.row_begin,
@@ -77,8 +78,8 @@ Label scan_tile(ConstImageView image, std::span<Label> parents,
 Label scan_tile(ConstImageView image, std::span<Label> parents,
                 const TileSpec& tile, RunBuffer& runs,
                 Connectivity connectivity,
-                std::span<analysis::FeatureCell> cells) {
-  RemEquiv eq(parents, tile.base);
+                std::span<analysis::FeatureCell> cells, std::uint64_t* joins) {
+  RemEquiv eq(parents, tile.base, joins);
   analysis::FeatureAccumulator sink(cells);
   return connectivity == Connectivity::Eight
              ? scan_runs_two_line(image, runs, eq, sink, tile.row_begin,

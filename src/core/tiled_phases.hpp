@@ -38,6 +38,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -84,8 +85,11 @@ struct TileSpec {
 /// merge_tile_seams. Returns the number of labels issued (the caller
 /// stores it in tile.used). Thread-safe across distinct tiles: a tile
 /// scan writes only its own label range and its own pixel rectangle.
+/// Every overload takes an optional `joins` accumulator (see RemEquiv) —
+/// pass a per-tile slot to fill PhaseCounters::scan_unions race-free.
 [[nodiscard]] Label scan_tile(ConstImageView image, LabelImage& labels,
-                              std::span<Label> parents, const TileSpec& tile);
+                              std::span<Label> parents, const TileSpec& tile,
+                              std::uint64_t* joins = nullptr);
 
 /// Fused-analysis variant of scan_tile: identical labeling, but every
 /// labeled pixel is additionally folded into `cells` (indexed by
@@ -96,7 +100,8 @@ struct TileSpec {
 /// share `parents`.
 [[nodiscard]] Label scan_tile(ConstImageView image, LabelImage& labels,
                               std::span<Label> parents, const TileSpec& tile,
-                              std::span<analysis::FeatureCell> cells);
+                              std::span<analysis::FeatureCell> cells,
+                              std::uint64_t* joins = nullptr);
 
 // --- Run-based phase variants ------------------------------------------------
 // The run-based rle pipelines (core/rle_labelers.hpp, the engine's
@@ -130,7 +135,8 @@ struct TileGridShape {
 /// like the pixel scan_tile: disjoint label ranges, disjoint buffers.
 [[nodiscard]] Label scan_tile(ConstImageView image, std::span<Label> parents,
                               const TileSpec& tile, RunBuffer& runs,
-                              Connectivity connectivity);
+                              Connectivity connectivity,
+                              std::uint64_t* joins = nullptr);
 
 /// Fused-analysis variant: every run is additionally folded into `cells`
 /// in O(1) via the arithmetic-series coordinate sums
@@ -138,7 +144,8 @@ struct TileGridShape {
 [[nodiscard]] Label scan_tile(ConstImageView image, std::span<Label> parents,
                               const TileSpec& tile, RunBuffer& runs,
                               Connectivity connectivity,
-                              std::span<analysis::FeatureCell> cells);
+                              std::span<analysis::FeatureCell> cells,
+                              std::uint64_t* joins = nullptr);
 
 /// Run-based Phase II for tile `t`: feed every 4/8-adjacency crossing the
 /// tile's top and left seams to `unite(Label, Label)`, operating on the

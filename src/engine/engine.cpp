@@ -2,9 +2,12 @@
 
 #include <chrono>
 #include <exception>
+#include <string>
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace paremsp::engine {
 
@@ -53,8 +56,9 @@ LabelingEngine::LabelingEngine(EngineConfig config)
   }
   try {
     for (int i = 0; i < n; ++i) {
-      threads_.emplace_back(
-          [this, i] { worker_main(*arenas_[static_cast<std::size_t>(i)]); });
+      threads_.emplace_back([this, i] {
+        worker_main(*arenas_[static_cast<std::size_t>(i)], i);
+      });
     }
   } catch (...) {
     // A failed std::thread spawn (resource exhaustion) must not leave the
@@ -277,11 +281,43 @@ EngineStatsSnapshot LabelingEngine::stats() const {
     s.scratch_grow_count += a.grow_count;
     s.plane_reuses += a.plane_reuses;
   }
+  s.queue_depth = queue_.size();
+  s.queue_high_water = queue_.high_water();
+  s.queue_capacity = queue_.capacity();
   s.shards_submitted = shards_submitted_.load(std::memory_order_relaxed);
   s.shards_completed = shards_completed_.load(std::memory_order_relaxed);
   s.shard_tasks_completed =
       shard_tasks_completed_.load(std::memory_order_relaxed);
   return s;
+}
+
+void LabelingEngine::publish_metrics() const {
+  const EngineStatsSnapshot s = stats();
+  // Gauges throughout (last-write-wins absolute values): the snapshot is
+  // already cumulative, and a second engine in the process would fight a
+  // counter's monotone add.
+  obs::gauge("engine_jobs_submitted").set(static_cast<double>(s.jobs_submitted));
+  obs::gauge("engine_jobs_completed").set(static_cast<double>(s.jobs_completed));
+  obs::gauge("engine_jobs_failed").set(static_cast<double>(s.jobs_failed));
+  obs::gauge("engine_pixels_labeled").set(static_cast<double>(s.pixels_labeled));
+  obs::gauge("engine_queue_depth").set(static_cast<double>(s.queue_depth));
+  obs::gauge("engine_queue_high_water")
+      .set(static_cast<double>(s.queue_high_water));
+  obs::gauge("engine_queue_capacity")
+      .set(static_cast<double>(s.queue_capacity));
+  obs::gauge("engine_images_per_sec").set(s.images_per_sec);
+  obs::gauge("engine_mpixels_per_sec").set(s.mpixels_per_sec);
+  obs::gauge("engine_latency_mean_ms").set(s.latency_mean_ms);
+  obs::gauge("engine_latency_p50_ms").set(s.latency_p50_ms);
+  obs::gauge("engine_latency_p99_ms").set(s.latency_p99_ms);
+  obs::gauge("engine_latency_max_ms").set(s.latency_max_ms);
+  obs::gauge("engine_latency_failed_mean_ms").set(s.latency_failed_mean_ms);
+  obs::gauge("engine_latency_failed_p99_ms").set(s.latency_failed_p99_ms);
+  obs::gauge("engine_workers").set(static_cast<double>(threads_.size()));
+  obs::gauge("engine_shards_completed")
+      .set(static_cast<double>(s.shards_completed));
+  obs::gauge("engine_shard_tasks_completed")
+      .set(static_cast<double>(s.shard_tasks_completed));
 }
 
 void LabelingEngine::maybe_adopt_recycled(ScratchArena& arena) {
@@ -295,12 +331,16 @@ void LabelingEngine::maybe_adopt_recycled(ScratchArena& arena) {
   arena.adopt_plane(std::move(plane));
 }
 
-void LabelingEngine::worker_main(ScratchArena& arena) {
+void LabelingEngine::worker_main(ScratchArena& arena, int index) {
+  obs::set_thread_name("worker-" + std::to_string(index));
   // One labeler per worker for its whole lifetime: constructing e.g.
   // PAREMSP's striped lock pool is exactly the per-call overhead this
   // engine exists to amortize.
   const std::unique_ptr<Labeler> labeler =
       make_labeler(config_.algorithm, config_.labeler);
+  obs::Counter& jobs_metric = obs::counter("engine_jobs_total");
+  obs::Counter& failed_metric = obs::counter("engine_jobs_failed_total");
+  obs::Counter& pixels_metric = obs::counter("engine_pixels_total");
 
   while (auto job = queue_.pop()) {
     if (job->task) {
@@ -315,15 +355,35 @@ void LabelingEngine::worker_main(ScratchArena& arena) {
       shard_tasks_completed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
+    // Queue wait: how long the job sat before this worker picked it up.
+    // Emitted as a trace span on the WORKER's track (start backdated to
+    // the submit stamp), so Perfetto shows wait and execute end-to-end.
+    const auto picked_up = EngineStats::Clock::now();
+    const double queue_wait_ms =
+        std::chrono::duration<double, std::milli>(picked_up -
+                                                  job->submitted_at)
+            .count();
+    if (obs::tracing_enabled()) {
+      const std::int64_t submit_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              job->submitted_at.time_since_epoch())
+              .count();
+      obs::emit_span("job.queue_wait", "engine", submit_ns,
+                     obs::trace_now_ns() - submit_ns);
+    }
     maybe_adopt_recycled(arena);
     const std::int64_t pixels = job->request.input.size();
     LabelResponse response;
     std::exception_ptr error;
-    try {
-      response = labeler->run(job->request, arena.scratch());
-    } catch (...) {
-      error = std::current_exception();
+    {
+      obs::Span span("job.execute", "engine");
+      try {
+        response = labeler->run(job->request, arena.scratch());
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
+    response.timings.queue_wait_ms = queue_wait_ms;
     // Record the completion BEFORE fulfilling the promise: a caller
     // returning from future.get() must already observe the job in
     // stats() (the engine tests poll stats right after draining).
@@ -334,6 +394,9 @@ void LabelingEngine::worker_main(ScratchArena& arena) {
             .count();
     stats_.record_completion(latency_ms, failed ? 0 : pixels, failed);
     arena.note_job(failed ? 0 : pixels);
+    jobs_metric.increment();
+    if (failed) failed_metric.increment();
+    pixels_metric.add(failed ? 0 : static_cast<std::uint64_t>(pixels));
     job->deliver(std::move(error), std::move(response));
   }
 }

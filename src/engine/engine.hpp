@@ -163,6 +163,12 @@ class LabelingEngine {
   /// Throughput/latency/workspace counters, callable mid-run.
   [[nodiscard]] EngineStatsSnapshot stats() const;
 
+  /// Push the current stats() snapshot into the process-wide obs gauge
+  /// registry (obs/metrics.hpp) under `engine_*` names, so the Prometheus
+  /// and JSON exporters see engine health without holding an engine
+  /// reference. Call from a monitor loop or before exporting.
+  void publish_metrics() const;
+
   [[nodiscard]] int workers() const noexcept {
     return static_cast<int>(threads_.size());
   }
@@ -248,7 +254,7 @@ class LabelingEngine {
   };
   [[nodiscard]] ShardCellBuffer take_shard_cells(std::size_t n);
   void return_shard_cells(ShardCellBuffer buffer);
-  void worker_main(ScratchArena& arena);
+  void worker_main(ScratchArena& arena, int index);
   void maybe_adopt_recycled(ScratchArena& arena);
 
   EngineConfig config_;

@@ -14,6 +14,7 @@
 // what lets the engine guarantee every accepted job's future completes.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -44,6 +45,7 @@ class JobQueue {
                    [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -62,6 +64,7 @@ class JobQueue {
       std::lock_guard lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
+      high_water_ = std::max(high_water_, items_.size());
     }
     not_empty_.notify_one();
     return true;
@@ -100,6 +103,16 @@ class JobQueue {
     return items_.size();
   }
 
+  /// Deepest the queue has ever been (tracked under the existing push
+  /// lock, so it costs one max per enqueue). The engine exposes it via
+  /// EngineStatsSnapshot::queue_high_water — a full-capacity high-water
+  /// with low mean depth means bursty producers, sustained high depth
+  /// means the pool is undersized.
+  [[nodiscard]] std::size_t high_water() const {
+    std::lock_guard lock(mutex_);
+    return high_water_;
+  }
+
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
@@ -108,6 +121,7 @@ class JobQueue {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  std::size_t high_water_ = 0;
   bool closed_ = false;
 };
 

@@ -21,11 +21,15 @@
 #include <utility>
 #include <vector>
 
+#include <cstdint>
+
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
 #include "core/registry.hpp"
 #include "core/tiled_phases.hpp"
 #include "engine/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "unionfind/parallel_rem.hpp"
 #include "unionfind/rem.hpp"
 
@@ -86,6 +90,14 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
       tile_runs_ = std::vector<RunBuffer>(tiles_.size());
       grid_ = tile_grid_shape(tiles_);
     }
+    // Disjoint per-job counter slots (one per tile): scan jobs write
+    // tile_joins_[t], merge jobs write merge_*_slots_[t], and resolve()
+    // sums them after the latch barrier — no shared counters on any
+    // worker's hot path.
+    tile_joins_.assign(tiles_.size(), 0);
+    merge_pair_slots_.assign(tiles_.size(), 0);
+    merge_stat_slots_.assign(tiles_.size(), {});
+    scan_queue_timer_.reset();
 
     // Initial fan-out takes the bounded, backpressured queue path — this
     // runs on the submitting thread, where blocking is the contract.
@@ -100,9 +112,17 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   // --- Phase I: tile-local AREMSP scans -------------------------------------
   void run_scan(std::size_t t) {
     if (!failed_.load(std::memory_order_acquire)) {
+      // Queue wait for the sharded path: submit -> the first scan job
+      // picked up. One winner stamps it; everyone else pays a relaxed
+      // exchange. deliver() reads it only after every latch has drained.
+      if (!queue_wait_claimed_.exchange(true, std::memory_order_relaxed)) {
+        result_.timings.queue_wait_ms = scan_queue_timer_.elapsed_ms();
+      }
       try {
+        obs::Span span("shard.scan", "shard");
         auto& tile = tiles_[t];
         const std::span<Label> parents{parents_.data.get(), parents_size_};
+        std::uint64_t* joins = &tile_joins_[t];
         // The fused variant writes feature cells only in this tile's label
         // range, so concurrent scan jobs share cells_ race-free.
         if (scans_runs()) {
@@ -111,15 +131,16 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
           tile.used =
               with_stats()
                   ? scan_tile(image(), parents, tile, tile_runs_[t],
-                              connectivity_, {cells_.data.get(), parents_size_})
+                              connectivity_, {cells_.data.get(), parents_size_},
+                              joins)
                   : scan_tile(image(), parents, tile, tile_runs_[t],
-                              connectivity_);
+                              connectivity_, joins);
         } else {
           tile.used =
               with_stats()
                   ? scan_tile(image(), result_.labels, parents, tile,
-                              {cells_.data.get(), parents_size_})
-                  : scan_tile(image(), result_.labels, parents, tile);
+                              {cells_.data.get(), parents_size_}, joins)
+                  : scan_tile(image(), result_.labels, parents, tile, joins);
         }
       } catch (...) {
         fail(std::current_exception());
@@ -151,27 +172,37 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   void run_merge(std::size_t t) {
     if (!failed_.load(std::memory_order_acquire)) {
       try {
+        obs::Span span("shard.merge", "shard");
         Label* p = parents_.data.get();
+        std::uint64_t pairs = 0;
+        uf::UniteStats us;
         if (scans_runs()) {
           if (options_.merge_backend == MergeBackend::LockedRem) {
             merge_run_seams(tiles_, runs(), t, grid_, connectivity_,
                             [&](Label x, Label y) {
-                              uf::locked_unite(p, *locks_, x, y);
+                              ++pairs;
+                              uf::locked_unite(p, *locks_, x, y, &us);
                             });
           } else {
-            merge_run_seams(
-                tiles_, runs(), t, grid_, connectivity_,
-                [&](Label x, Label y) { uf::cas_unite(p, x, y); });
+            merge_run_seams(tiles_, runs(), t, grid_, connectivity_,
+                            [&](Label x, Label y) {
+                              ++pairs;
+                              uf::cas_unite(p, x, y, &us);
+                            });
           }
         } else if (options_.merge_backend == MergeBackend::LockedRem) {
           merge_tile_seams(result_.labels, tiles_[t], [&](Label x, Label y) {
-            uf::locked_unite(p, *locks_, x, y);
+            ++pairs;
+            uf::locked_unite(p, *locks_, x, y, &us);
           });
         } else {
           merge_tile_seams(result_.labels, tiles_[t], [&](Label x, Label y) {
-            uf::cas_unite(p, x, y);
+            ++pairs;
+            uf::cas_unite(p, x, y, &us);
           });
         }
+        merge_pair_slots_[t] = pairs;
+        merge_stat_slots_[t] = us;
       } catch (...) {
         fail(std::current_exception());
       }
@@ -182,19 +213,28 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   void run_merge_all() {
     if (!failed_.load(std::memory_order_acquire)) {
       try {
+        obs::Span span("shard.merge", "shard");
         Label* p = parents_.data.get();
+        std::uint64_t pairs = 0;
+        std::uint64_t joins = 0;
         if (scans_runs()) {
           for (std::size_t t = 0; t < tiles_.size(); ++t) {
             merge_run_seams(tiles_, runs(), t, grid_, connectivity_,
-                            [&](Label x, Label y) { uf::rem_unite(p, x, y); });
+                            [&](Label x, Label y) {
+                              ++pairs;
+                              uf::rem_unite(p, x, y, &joins);
+                            });
           }
         } else {
           for (const TileSpec& tile : tiles_) {
             merge_tile_seams(result_.labels, tile, [&](Label x, Label y) {
-              uf::rem_unite(p, x, y);
+              ++pairs;
+              uf::rem_unite(p, x, y, &joins);
             });
           }
         }
+        merge_pair_slots_[0] = pairs;
+        merge_stat_slots_[0].joins = joins;
       } catch (...) {
         fail(std::current_exception());
       }
@@ -207,8 +247,28 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     result_.timings.merge_ms = timer_.elapsed_ms() - result_.timings.scan_ms;
     if (!failed_.load(std::memory_order_acquire)) {
       try {
+        obs::Span span("shard.flatten", "shard");
         Label total_used = 0;
         for (const TileSpec& tile : tiles_) total_used += tile.used;
+        // Every per-job counter slot is quiescent now (the merge latch
+        // drained), so this single-worker phase folds them into the
+        // response counters.
+        {
+          auto& counters = result_.timings.counters;
+          counters.tiles = tiles_.size();
+          counters.provisional_labels = total_used;
+          for (const std::uint64_t j : tile_joins_) counters.scan_unions += j;
+          for (const std::uint64_t n : merge_pair_slots_) {
+            counters.merge_pairs += n;
+          }
+          for (const uf::UniteStats& us : merge_stat_slots_) {
+            counters.merge_unions += us.joins;
+            counters.merge_retries += us.retries;
+          }
+          for (const RunBuffer& runs : tile_runs_) {
+            counters.runs_extracted += runs.size();
+          }
+        }
         const std::size_t remap_size =
             static_cast<std::size_t>(total_used) + 1;
         remap_ = engine_.take_shard_buffer(remap_size);
@@ -265,6 +325,7 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
 
   void run_rewrite_runs(std::size_t t) {
     if (!failed_.load(std::memory_order_acquire)) {
+      obs::Span span("shard.rewrite", "shard");
       const std::span<const Label> parents{parents_.data.get(), parents_size_};
       const MutableImageView out = request_.label_out.has_value()
                                        ? *request_.label_out
@@ -276,6 +337,7 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
 
   void run_rewrite(std::size_t band) {
     if (!failed_.load(std::memory_order_acquire)) {
+      obs::Span span("shard.rewrite", "shard");
       const Coord rows = image().rows();
       const Coord cols = image().cols();
       const Coord row_begin = static_cast<Coord>(
@@ -321,6 +383,7 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
         timer_.elapsed_ms() - result_.timings.scan_ms -
         result_.timings.merge_ms - result_.timings.flatten_ms;
     result_.timings.total_ms = timer_.elapsed_ms();
+    quiesced_.increment();
     // Park the work buffers for the next run. Safe exactly here: every
     // job has drained, and the engine is alive (deliver runs on a worker
     // or on the submitting thread).
@@ -392,6 +455,9 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     } catch (...) {  // closure allocation / queue growth (bad_alloc)
       fail(std::current_exception());
     }
+    // Interned once per process (members reference the registry's
+    // Counter), so this is a relaxed fetch_add — safe in noexcept.
+    fanout_jobs_.add(static_cast<std::uint64_t>(launched));
     if (launched < count) {
       finish_phase(static_cast<std::int64_t>(count - launched));
     }
@@ -445,6 +511,16 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   std::vector<RunBuffer> tile_runs_;       // run-mode per-tile runs
   TileGridShape grid_;                     // run-mode seam/renumber lookup
   std::size_t rewrite_bands_ = 1;
+
+  // Per-job observability slots (disjoint by tile index; folded by
+  // resolve() into result_.timings.counters after the merge latch).
+  std::vector<std::uint64_t> tile_joins_;
+  std::vector<std::uint64_t> merge_pair_slots_;
+  std::vector<uf::UniteStats> merge_stat_slots_;
+  WallTimer scan_queue_timer_;              // submit -> first scan pickup
+  std::atomic<bool> queue_wait_claimed_{false};
+  obs::Counter& fanout_jobs_ = obs::counter("shard_fanout_jobs_total");
+  obs::Counter& quiesced_ = obs::counter("shards_quiesced_total");
 
   std::atomic<std::int64_t> remaining_{0};
   std::atomic<bool> error_claimed_{false};

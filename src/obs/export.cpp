@@ -1,0 +1,123 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace paremsp::obs {
+
+namespace {
+
+// Fixed-precision microsecond formatting: Chrome's ts/dur unit. Three
+// decimals keeps nanosecond resolution without float round-trip noise.
+std::string format_us(std::int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns < 0 ? -(ns % 1000) : ns % 1000));
+  return buf;
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out, const TraceReport& report,
+                        const std::string& process_name) {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  comma();
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      << "\"args\":{\"name\":\"" << json_escape(process_name) << "\"}}";
+  for (const ThreadTrace& thread : report.threads) {
+    // tid is 1-based so it never collides with the process metadata row.
+    const std::uint64_t tid = thread.thread_index + 1;
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << json_escape(thread.name) << "\"}}";
+    for (const TraceEvent& e : thread.events) {
+      comma();
+      out << "{\"name\":\"" << json_escape(e.name ? e.name : "")
+          << "\",\"cat\":\"" << json_escape(e.category ? e.category : "")
+          << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+          << ",\"ts\":" << format_us(e.start_ns)
+          << ",\"dur\":" << format_us(e.dur_ns) << "}";
+    }
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << "\"session_duration_ms\":"
+      << format_double(static_cast<double>(report.session_duration_ns) / 1e6)
+      << ",\"dropped_events\":" << report.total_dropped() << "}}\n";
+}
+
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snap) {
+  for (const auto& c : snap.counters) {
+    out << "# TYPE " << c.name << " counter\n"
+        << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    out << "# TYPE " << g.name << " gauge\n"
+        << g.name << ' ' << format_double(g.value) << '\n';
+  }
+}
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap) {
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) out << ',';
+    out << '"' << json_escape(snap.counters[i].name)
+        << "\":" << snap.counters[i].value;
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i != 0) out << ',';
+    out << '"' << json_escape(snap.gauges[i].name)
+        << "\":" << format_double(snap.gauges[i].value);
+  }
+  out << "}}\n";
+}
+
+}  // namespace paremsp::obs

@@ -1,0 +1,43 @@
+// Serialization surfaces for traces and metrics.
+//
+// Three formats, three consumers:
+//   write_chrome_trace    Chrome trace-event JSON ("traceEvents" array of
+//                         ph:"X" duration events + ph:"M" thread_name
+//                         metadata, ts/dur in microseconds). Loads in
+//                         Perfetto (ui.perfetto.dev) and chrome://tracing
+//                         with one track per recorded thread.
+//   write_prometheus_text Prometheus text exposition format (counters as
+//                         `# TYPE <name> counter` + value lines) for
+//                         scrape endpoints / textfile collectors.
+//   write_metrics_json    flat machine-readable snapshot for bench
+//                         artifacts (BENCH_*.json phase breakdowns).
+//
+// All writers emit deterministic output for a given input (metrics sorted
+// by name, events in per-thread record order) so golden-file tests can
+// diff them byte-for-byte.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace paremsp::obs {
+
+/// Chrome trace-event JSON for a collected report. `process_name` labels
+/// the single pid-1 process track.
+void write_chrome_trace(std::ostream& out, const TraceReport& report,
+                        const std::string& process_name = "paremsp");
+
+/// Prometheus text exposition format for a metrics snapshot.
+void write_prometheus_text(std::ostream& out, const MetricsSnapshot& snap);
+
+/// Flat JSON object: {"counters": {name: int, ...}, "gauges": {...}}.
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap);
+
+/// JSON string escaping per RFC 8259 (shared by the writers; exposed for
+/// bench emitters that hand-roll JSON).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace paremsp::obs

@@ -1,0 +1,84 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace paremsp::obs {
+
+namespace {
+
+// Interned metrics live in deques so references handed out by counter()/
+// gauge() stay valid as the registry grows. Leaked singletons keep them
+// usable from static destructors (e.g. end-of-main stats dumps).
+template <typename Metric>
+struct MetricTable {
+  std::mutex mutex;
+  std::deque<std::pair<std::string, Metric>> entries;
+
+  Metric& intern(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    for (auto& [n, m] : entries) {
+      if (n == name) return m;
+    }
+    entries.emplace_back(std::piecewise_construct,
+                         std::forward_as_tuple(name), std::forward_as_tuple());
+    return entries.back().second;
+  }
+};
+
+MetricTable<Counter>& counters() {
+  static auto* t = new MetricTable<Counter>;
+  return *t;
+}
+
+MetricTable<Gauge>& gauges() {
+  static auto* t = new MetricTable<Gauge>;
+  return *t;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) { return counters().intern(name); }
+
+Gauge& gauge(std::string_view name) { return gauges().intern(name); }
+
+MetricsSnapshot metrics_snapshot() {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(counters().mutex);
+    for (const auto& [name, c] : counters().entries) {
+      snap.counters.push_back({name, c.value()});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(gauges().mutex);
+    for (const auto& [name, g] : gauges().entries) {
+      snap.gauges.push_back({name, g.value()});
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  return snap;
+}
+
+void reset_metrics_for_test() {
+  {
+    std::lock_guard<std::mutex> lock(counters().mutex);
+    for (auto& [name, c] : counters().entries) {
+      // Counters have no reset API by design; tests rebaseline via add of
+      // the two's-complement distance back to zero.
+      c.add(0 - c.value());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(gauges().mutex);
+    for (auto& [name, g] : gauges().entries) g.set(0.0);
+  }
+}
+
+}  // namespace paremsp::obs

@@ -1,0 +1,90 @@
+// Named counter/gauge registries for process-level metrics.
+//
+// Complements the span layer: spans answer "where did *this request's*
+// time go", metrics answer "what has the process done so far" — jobs
+// completed, unions performed, queue high-water. Counters are monotone
+// u64 accumulators (hot-path increments are one relaxed fetch_add on a
+// cache-line-padded atomic); gauges are last-write-wins doubles the
+// engine publishes snapshots into. Both are interned by name on first
+// use: call-site lookup is a static-local init, not a map probe.
+//
+//   static obs::Counter& unions = obs::counter("uf_unions_total");
+//   unions.add(joins);
+//
+// Exporters (obs/export.hpp) walk the registry to produce Prometheus
+// text format and a JSON snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paremsp::obs {
+
+/// Monotone event accumulator. Padded so independent counters never share
+/// a cache line even when interned adjacently.
+class alignas(64) Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, utilization, ...).
+class alignas(64) Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Monotone-max update (high-water marks).
+  void set_max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Intern a counter by name; the returned reference is valid for the
+/// process lifetime. Names should be Prometheus-style snake_case ending
+/// in `_total`. Thread-safe; same name → same counter.
+[[nodiscard]] Counter& counter(std::string_view name);
+
+/// Intern a gauge by name (valid for the process lifetime). Thread-safe.
+[[nodiscard]] Gauge& gauge(std::string_view name);
+
+/// Point-in-time copy of every registered metric, sorted by name (stable
+/// output for golden tests and diffable dashboards).
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value;
+  };
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+};
+
+[[nodiscard]] MetricsSnapshot metrics_snapshot();
+
+/// Zero every counter and gauge (tests only — metrics are normally
+/// process-monotone).
+void reset_metrics_for_test();
+
+}  // namespace paremsp::obs

@@ -1,0 +1,199 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "common/env.hpp"
+
+namespace paremsp::obs {
+
+namespace {
+
+// One per-thread event ring. Ownership is split: the owner thread is the
+// only writer of `slots` and the only thread that advances `count`; the
+// collector reads `count` with acquire and then only slots below it, so it
+// never observes a slot mid-write. `count` is monotone within an epoch —
+// a full ring drops (and counts) instead of wrapping, which is what makes
+// the concurrent read safe without any per-slot synchronization.
+struct Ring {
+  explicit Ring(std::size_t capacity) : slots(capacity) {}
+
+  std::vector<TraceEvent> slots;
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  // Epoch of the events currently in the ring. The owner lazily resets
+  // count/dropped at its first record of a new session; the collector
+  // treats a stale-epoch ring as empty.
+  std::atomic<std::uint64_t> epoch{0};
+  std::uint64_t thread_index = 0;
+
+  std::mutex name_mutex;  // guards `name` (owner writes, collector reads)
+  std::string name;
+};
+
+struct Registry {
+  std::mutex mutex;
+  // shared_ptr keeps rings alive past owner-thread exit so a collector can
+  // still drain events a short-lived producer recorded.
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::atomic<std::uint64_t> session_epoch{1};
+  std::atomic<std::size_t> ring_capacity{TraceSession::kDefaultRingCapacity};
+  std::atomic<bool> session_alive{false};
+  std::int64_t session_start_ns = 0;  // written under mutex at session start
+};
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry;  // leaked: usable during static teardown
+    reg->session_start_ns = detail::now_ns();
+    return reg;
+  }();
+  return *r;
+}
+
+thread_local std::shared_ptr<Ring> t_ring;
+thread_local std::int32_t t_depth = 0;
+
+Ring& my_ring() {
+  if (!t_ring) {
+    Registry& reg = registry();
+    auto ring =
+        std::make_shared<Ring>(reg.ring_capacity.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    ring->thread_index = reg.rings.size();
+    ring->epoch.store(reg.session_epoch.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    reg.rings.push_back(ring);
+    t_ring = std::move(ring);
+  }
+  return *t_ring;
+}
+
+bool env_trace_forced() {
+  const std::optional<std::string> v = env_string("PAREMSP_TRACE");
+  return v && *v != "0" && *v != "false" && *v != "off";
+}
+
+// Process-wide forced tracing: checked once, before main-thread work.
+const bool g_env_forced = [] {
+  const bool forced = env_trace_forced();
+  if (forced) detail::g_enabled.store(true, std::memory_order_relaxed);
+  return forced;
+}();
+
+TraceReport collect_locked(Registry& reg) {
+  TraceReport report;
+  const std::uint64_t epoch = reg.session_epoch.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  report.session_duration_ns = detail::now_ns() - reg.session_start_ns;
+  report.threads.reserve(reg.rings.size());
+  for (const std::shared_ptr<Ring>& ring : reg.rings) {
+    ThreadTrace trace;
+    trace.thread_index = ring->thread_index;
+    {
+      std::lock_guard<std::mutex> name_lock(ring->name_mutex);
+      trace.name = ring->name;
+    }
+    if (trace.name.empty()) {
+      trace.name = "thread-" + std::to_string(ring->thread_index);
+    }
+    if (ring->epoch.load(std::memory_order_acquire) == epoch) {
+      const std::size_t n = ring->count.load(std::memory_order_acquire);
+      trace.events.assign(ring->slots.begin(),
+                          ring->slots.begin() + static_cast<std::ptrdiff_t>(n));
+      trace.dropped = ring->dropped.load(std::memory_order_relaxed);
+      // Rebase timestamps so the report starts at ~0.
+      for (TraceEvent& e : trace.events) e.start_ns -= reg.session_start_ns;
+    }
+    report.threads.push_back(std::move(trace));
+  }
+  return report;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int enter_span() noexcept { return t_depth++; }
+
+void leave_span() noexcept { --t_depth; }
+
+void record_span(const char* name, const char* category,
+                 std::int64_t start_ns, std::int64_t dur_ns,
+                 std::int32_t depth) noexcept {
+  Ring& ring = my_ring();
+  const std::uint64_t epoch =
+      registry().session_epoch.load(std::memory_order_relaxed);
+  if (ring.epoch.load(std::memory_order_relaxed) != epoch) {
+    // First record of a new session on this thread: owner-side reset. The
+    // release store on `epoch` orders the count/dropped resets before any
+    // collector that observes the new epoch.
+    ring.count.store(0, std::memory_order_relaxed);
+    ring.dropped.store(0, std::memory_order_relaxed);
+    ring.epoch.store(epoch, std::memory_order_release);
+  }
+  const std::size_t c = ring.count.load(std::memory_order_relaxed);
+  if (c >= ring.slots.size()) {
+    ring.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring.slots[c] = TraceEvent{name, category, start_ns, dur_ns, depth};
+  ring.count.store(c + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void set_thread_name(std::string name) {
+  Ring& ring = my_ring();
+  std::lock_guard<std::mutex> lock(ring.name_mutex);
+  ring.name = std::move(name);
+}
+
+TraceReport collect() { return collect_locked(registry()); }
+
+TraceSession::TraceSession(std::size_t ring_capacity) {
+  PAREMSP_REQUIRE(ring_capacity > 0, "trace ring capacity must be positive");
+  Registry& reg = registry();
+  bool expected = false;
+  PAREMSP_REQUIRE(
+      reg.session_alive.compare_exchange_strong(expected, true),
+      "only one TraceSession may be alive at a time");
+  reg.ring_capacity.store(ring_capacity, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.session_start_ns = detail::now_ns();
+  }
+  // Bumping the epoch invalidates every ring's prior contents; owners
+  // reset lazily at their first record, so no foreign-ring writes here.
+  reg.session_epoch.fetch_add(1, std::memory_order_relaxed);
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+TraceSession::~TraceSession() {
+  if (!stopped_) (void)stop();
+}
+
+TraceReport TraceSession::stop() {
+  if (stopped_) return {};
+  stopped_ = true;
+  Registry& reg = registry();
+  // Keep recording enabled if PAREMSP_TRACE forced it on for the process.
+  if (!g_env_forced) detail::g_enabled.store(false, std::memory_order_relaxed);
+  TraceReport report = collect_locked(reg);
+  reg.session_alive.store(false, std::memory_order_relaxed);
+  return report;
+}
+
+}  // namespace paremsp::obs

@@ -20,11 +20,24 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 
 #include "common/types.hpp"
 #include "unionfind/lock_pool.hpp"
 
 namespace paremsp::uf {
+
+/// Optional per-call accounting for the parallel backends. `joins` counts
+/// root updates that actually merged two trees (same semantics as the
+/// `joins` out-param of rem_unite — summed over a merge phase they equal
+/// the number of cross-boundary components eliminated). `retries` counts
+/// contention events: a lock-side re-check that found the root stolen, or
+/// a failed root CAS — the direct observable for lock-pool striping and
+/// the Rem-CAS ablation.
+struct UniteStats {
+  std::uint64_t joins = 0;
+  std::uint64_t retries = 0;
+};
 
 namespace detail {
 
@@ -49,8 +62,8 @@ inline bool cas(Label* p, Label i, Label expected, Label desired) noexcept {
 /// Each iteration works from one snapshot read of both parents, so every
 /// store writes a value strictly below the index it is stored at (py < px
 /// <= rootx), keeping trees acyclic under any interleaving.
-inline void locked_unite(Label* p, LockPool& locks, Label x,
-                         Label y) noexcept {
+inline void locked_unite(Label* p, LockPool& locks, Label x, Label y,
+                         UniteStats* stats = nullptr) noexcept {
   using detail::load;
   using detail::store;
   Label rootx = x;
@@ -69,7 +82,11 @@ inline void locked_unite(Label* p, LockPool& locks, Label x,
             success = true;
           }
         }
-        if (success) return;
+        if (success) {
+          if (stats != nullptr) ++stats->joins;
+          return;
+        }
+        if (stats != nullptr) ++stats->retries;
         continue;  // Another thread re-parented rootx; re-examine.
       }
       store(p, rootx, py);  // Splice (unlocked; benign race, see header).
@@ -84,7 +101,11 @@ inline void locked_unite(Label* p, LockPool& locks, Label x,
             success = true;
           }
         }
-        if (success) return;
+        if (success) {
+          if (stats != nullptr) ++stats->joins;
+          return;
+        }
+        if (stats != nullptr) ++stats->retries;
         continue;
       }
       store(p, rooty, px);
@@ -96,7 +117,8 @@ inline void locked_unite(Label* p, LockPool& locks, Label x,
 /// Lock-free parallel REM union: root updates and splices both use CAS.
 /// A failed CAS simply re-reads; parents are monotonically shrinking under
 /// CAS-only updates, which guarantees progress.
-inline void cas_unite(Label* p, Label x, Label y) noexcept {
+inline void cas_unite(Label* p, Label x, Label y,
+                      UniteStats* stats = nullptr) noexcept {
   using detail::cas;
   using detail::load;
   Label rootx = x;
@@ -107,7 +129,14 @@ inline void cas_unite(Label* p, Label x, Label y) noexcept {
     if (px == py) return;
     if (px > py) {
       if (rootx == px) {
-        if (cas(p, rootx, px, py)) return;
+        // A successful root CAS always joins two distinct trees: rootx was
+        // a root (so every member of its tree is >= rootx, the REM
+        // minimum-root invariant) and py < rootx lies in another tree.
+        if (cas(p, rootx, px, py)) {
+          if (stats != nullptr) ++stats->joins;
+          return;
+        }
+        if (stats != nullptr) ++stats->retries;
         continue;  // Lost the race; re-read and retry.
       }
       // Splice: only advance if our view of p[rootx] was current, so the
@@ -117,7 +146,11 @@ inline void cas_unite(Label* p, Label x, Label y) noexcept {
       }
     } else {
       if (rooty == py) {
-        if (cas(p, rooty, py, px)) return;
+        if (cas(p, rooty, py, px)) {
+          if (stats != nullptr) ++stats->joins;
+          return;
+        }
+        if (stats != nullptr) ++stats->retries;
         continue;
       }
       if (cas(p, rooty, py, px)) {

@@ -20,6 +20,7 @@
 // RemSplice class wraps the same operations as a self-contained container.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -32,13 +33,22 @@ namespace paremsp::uf {
 /// Merges the sets containing x and y; returns the root of the united tree
 /// (the smaller of the two original roots).
 /// Requires p[i] <= i for all touched entries (REM invariant).
-inline Label rem_unite(Label* p, Label x, Label y) noexcept {
+///
+/// When `joins` is non-null it is incremented iff the call joined two
+/// previously distinct trees (the root-link branches below — a splice only
+/// re-parents within a tree). Because a REM root is its component's
+/// minimum and the loop guard ensures p[rootx] != p[rooty] at the link,
+/// every root-link is a true join: total joins over a labeling equal
+/// provisional labels minus final components, exactly.
+inline Label rem_unite(Label* p, Label x, Label y,
+                       std::uint64_t* joins = nullptr) noexcept {
   Label rootx = x;
   Label rooty = y;
   while (p[rootx] != p[rooty]) {
     if (p[rootx] > p[rooty]) {
       if (rootx == p[rootx]) {
         p[rootx] = p[rooty];
+        if (joins != nullptr) ++*joins;
         return p[rootx];
       }
       const Label z = p[rootx];
@@ -47,6 +57,7 @@ inline Label rem_unite(Label* p, Label x, Label y) noexcept {
     } else {
       if (rooty == p[rooty]) {
         p[rooty] = p[rootx];
+        if (joins != nullptr) ++*joins;
         return p[rootx];
       }
       const Label z = p[rooty];
