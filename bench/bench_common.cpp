@@ -17,11 +17,18 @@ std::string artifact_path(const std::string& filename) {
       dir != nullptr && *dir != '\0') {
     return std::string(dir) + "/" + filename;
   }
+  if (bench_scale() == 1.0) {
 #ifdef PAREMSP_SOURCE_DIR
-  return std::string(PAREMSP_SOURCE_DIR) + "/" + filename;
+    return std::string(PAREMSP_SOURCE_DIR) + "/" + filename;
 #else
-  return filename;
+    return filename;
 #endif
+  }
+  // Scaled run without an explicit destination: never reuse a canonical
+  // trajectory filename — a smoke run started from the repo root would
+  // otherwise clobber the committed full-size artifact (a 0.25-scale CI
+  // pass once overwrote BENCH_rle.json with a 286x286 measurement).
+  return "smoke." + filename;
 }
 
 double bench_scale() {

@@ -49,10 +49,12 @@ int bench_max_threads();
 
 /// Where a bench trajectory JSON (BENCH_*.json) belongs: the directory
 /// named by PAREMSP_BENCH_DIR when set, else the repository root (baked
-/// in at configure time), else the current directory. Keeps the canonical
-/// artifacts at the repo root no matter which build tree the bench runs
-/// from — running ./build/bench_* and cd build && ./bench_* write the
-/// same file.
+/// in at configure time) — but only for FULL-SIZE runs (bench_scale()
+/// == 1.0). Scaled smoke runs without an explicit PAREMSP_BENCH_DIR
+/// write "smoke.<filename>" into the current directory, so they can
+/// never clobber a committed trajectory artifact even when launched
+/// from the repo root. Keeps the canonical artifacts at the repo root
+/// no matter which build tree a full-size bench runs from.
 std::string artifact_path(const std::string& filename);
 
 /// Print the standard header (environment, scale, reps) for a bench binary.

@@ -8,12 +8,14 @@
 // Before timing, every rle result is verified BIT-IDENTICAL to its pixel
 // twin; the process exits nonzero on any mismatch.
 //
-// Gate: at the LOWEST density the run path must not lose to the pixel
-// path (speedup >= 1.0x) — sparse imagery is where run extraction
-// overhead could in principle exceed its savings, so that is the guard.
-// Stretch target (reported, not enforced): >= 1.3x on every density
-// >= 0.5, where long runs amortize one union per overlapping pair
-// against thousands of per-pixel branches.
+// Gate: at EVERY density the run path must not lose to the pixel path
+// (speedup >= 1.0x). Sparse imagery is where run extraction overhead
+// could in principle exceed its savings; dense noise is where short
+// fragmented runs used to cost 1.03-1.25x — the SIMD packers and
+// pair-order provisional issuance closed that gap, so the guard now
+// covers the whole sweep. Stretch target (reported, not enforced):
+// >= 1.3x on every density >= 0.5, where long runs amortize one union
+// per overlapping pair against thousands of per-pixel branches.
 //
 // Besides the table, writes BENCH_rle.json (repo root via artifact_path):
 //
@@ -22,7 +24,7 @@
 //     "runs": [ { "pair": "aremsp", "density": 0.05,
 //                 "pixel_mpx_per_s": ..., "rle_mpx_per_s": ...,
 //                 "speedup_rle": ..., "reps": K }, ... ],
-//     "guard_low_density_ge_1x": true,
+//     "guard_all_densities_ge_1x": true,
 //     "stretch_dense_ge_1p3x": true }
 //
 // The JSON additionally carries the traced phase breakdown of one
@@ -145,7 +147,7 @@ void write_json(const std::string& path, Coord rows, Coord cols,
                obs.untraced_mpx, obs.traced_off_mpx, obs.ratio(),
                ObsReport::kThreshold, obs.ok() ? "true" : "false");
   std::fprintf(f,
-               "  \"guard_low_density_ge_1x\": %s,\n"
+               "  \"guard_all_densities_ge_1x\": %s,\n"
                "  \"stretch_dense_ge_1p3x\": %s\n}\n",
                guard_ok ? "true" : "false", stretch_ok ? "true" : "false");
   std::fclose(f);
@@ -334,17 +336,22 @@ int main() {
         obs.timings.relabel_ms, obs.timings.total_ms);
   }
 
-  // Guard: at the lowest density, no rle pair may lose to its pixel twin.
+  // Guard: no rle pair may lose to its pixel twin at ANY density. The
+  // SIMD front-end + pair-order issuance closed the dense-noise gap, so
+  // the old lowest-density-only guard is now enforced across the sweep.
+  // Scaled smoke runs (CI, sub-Mpx images) measure mostly jitter, so
+  // they get a noise allowance; the canonical full-size run is strict.
+  const double guard_min = scale == 1.0 ? 1.0 : 0.90;
   bool guard_ok = true;
   for (const RleRecord& r : runs) {
-    if (r.density == densities.front() && r.speedup() < 1.0) guard_ok = false;
+    if (r.speedup() < guard_min) guard_ok = false;
   }
   // Stretch: >= 1.3x wherever density >= 0.5.
   bool stretch_ok = true;
   for (const RleRecord& r : runs) {
     if (r.density >= 0.5 && r.speedup() < 1.3) stretch_ok = false;
   }
-  std::cout << "guard  rle >= 1.0x at density " << densities.front() << ": "
+  std::cout << "guard  rle >= " << guard_min << "x at every density: "
             << (guard_ok ? "PASS" : "FAIL") << "\n"
             << "stretch rle >= 1.3x at density >= 0.5: "
             << (stretch_ok ? "PASS" : "MISS") << "\n";
@@ -357,7 +364,7 @@ int main() {
     return 1;
   }
   if (!guard_ok) {
-    std::cerr << "low-density throughput guard failed\n";
+    std::cerr << "throughput guard failed (rle < 1.0x at some density)\n";
     return 1;
   }
   if (!obs.ok()) {

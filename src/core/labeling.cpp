@@ -15,6 +15,23 @@ Labeler::Labeler(Algorithm algorithm, Connectivity connectivity)
   require_supported(algorithm, connectivity);
 }
 
+LabelingResult Labeler::run_gray_impl(ConstImageView gray, std::uint8_t cutoff,
+                                      Connectivity connectivity,
+                                      LabelScratch& scratch,
+                                      analysis::ComponentStats* stats) const {
+  // Fallback for labelers without a fused threshold path: materialize the
+  // binarized plane once, then label it as usual.
+  BinaryImage binary(gray.rows(), gray.cols());
+  for (Coord r = 0; r < gray.rows(); ++r) {
+    const std::uint8_t* src = gray.row(r);
+    std::uint8_t* dst = binary.row(r);
+    for (Coord c = 0; c < gray.cols(); ++c) {
+      dst[c] = src[c] > cutoff ? std::uint8_t{1} : std::uint8_t{0};
+    }
+  }
+  return run_impl(binary, connectivity, scratch, stats);
+}
+
 LabelingResult Labeler::label(const BinaryImage& image) const {
   LabelScratch scratch;
   return label_into(image, scratch);

@@ -195,6 +195,16 @@ class Labeler {
       ConstImageView image, Connectivity connectivity, LabelScratch& scratch,
       analysis::ComponentStats* stats) const = 0;
 
+  /// Grayscale override point backing LabelRequest::threshold: label the
+  /// pixels of `gray` strictly above `cutoff` (the exact integer form of
+  /// im2bw's compare). The base implementation materializes the binarized
+  /// plane and delegates to run_impl — value-identical by construction.
+  /// The run-based labelers override it to fuse the compare into
+  /// bit-packed run extraction, so no intermediate plane ever exists.
+  [[nodiscard]] virtual LabelingResult run_gray_impl(
+      ConstImageView gray, std::uint8_t cutoff, Connectivity connectivity,
+      LabelScratch& scratch, analysis::ComponentStats* stats) const;
+
  private:
   Algorithm algorithm_;
   Connectivity default_connectivity_;

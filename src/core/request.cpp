@@ -16,6 +16,10 @@ Connectivity validate_request(const LabelRequest& request,
   // Same gate as construction and make_labeler: one uniform
   // PreconditionError for an unsupported algorithm/connectivity pair.
   require_supported(algorithm, connectivity);
+  if (request.threshold.has_value()) {
+    PAREMSP_REQUIRE(*request.threshold >= 0.0 && *request.threshold <= 1.0,
+                    "threshold must be within [0, 1]");
+  }
   if (request.label_out.has_value()) {
     PAREMSP_REQUIRE(request.label_out->rows() == request.input.rows() &&
                         request.label_out->cols() == request.input.cols(),
@@ -47,9 +51,16 @@ LabelResponse Labeler::run(const LabelRequest& request,
       validate_request(request, algorithm(), default_connectivity());
 
   analysis::ComponentStats stats;
+  analysis::ComponentStats* stats_out =
+      request.outputs.stats ? &stats : nullptr;
+  // floor(threshold * 255) truncates exactly for threshold in [0, 1]:
+  // pixel > threshold*255 <=> pixel > floor(threshold*255) for uint8.
   LabelingResult result =
-      run_impl(request.input, connectivity, scratch,
-               request.outputs.stats ? &stats : nullptr);
+      request.threshold.has_value()
+          ? run_gray_impl(request.input,
+                          static_cast<std::uint8_t>(*request.threshold * 255.0),
+                          connectivity, scratch, stats_out)
+          : run_impl(request.input, connectivity, scratch, stats_out);
 
   LabelResponse response;
   response.num_components = result.num_components;

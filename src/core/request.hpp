@@ -96,6 +96,17 @@ struct LabelRequest {
   /// the same PreconditionError as construction would.
   std::optional<Connectivity> connectivity;
 
+  /// Grayscale fusion: when set, `input` is a GRAYSCALE image and the
+  /// foreground is the pixels strictly above floor(threshold * 255) — the
+  /// exact integer form of im2bw's compare (image/threshold.hpp), so
+  /// labeling a GrayImage with a level here is bit-identical to
+  /// im2bw + label. The run-based labelers (and the sharded Runs
+  /// pipeline) fuse the compare into bit-packed run extraction (RowBits
+  /// threshold kernels) and never materialize the binary plane; the
+  /// remaining labelers binarize internally with identical results.
+  /// Must be within [0.0, 1.0].
+  std::optional<double> threshold;
+
   /// What to compute.
   OutputSet outputs;
 

@@ -23,13 +23,15 @@ namespace {
 /// grid, scan runs per tile, merge boundary runs, resolve + canonically
 /// renumber, and expand the resolved labels back to the raster. `threads`
 /// <= 1 serializes every phase (aremsp_rle); `locks` may be null for the
-/// non-LockedRem backends.
+/// non-LockedRem backends. `threshold` >= 0 scans `image` as GRAYSCALE
+/// through the fused pixel > threshold encoder (run_gray_impl); -1 is the
+/// plain binary mode.
 LabelingResult label_runs_impl(ConstImageView image, Connectivity connectivity,
                                LabelScratch& scratch,
                                analysis::ComponentStats* stats,
                                Coord tile_rows, Coord tile_cols, int threads,
                                MergeBackend merge_backend,
-                               uf::LockPool* locks) {
+                               uf::LockPool* locks, int threshold = -1) {
   const WallTimer total;
   // Opened at entry so workspace acquisition lands in scan_ms and the four
   // phase timings partition total_ms (the exporters' reconcile contract).
@@ -60,10 +62,11 @@ LabelingResult label_runs_impl(ConstImageView image, Connectivity connectivity,
     auto& tile = tiles[static_cast<std::size_t>(t)];
     auto& runs = tile_runs[static_cast<std::size_t>(t)];
     std::uint64_t* joins = &tile_joins[static_cast<std::size_t>(t)];
-    tile.used =
-        stats != nullptr
-            ? scan_tile(image, p, tile, runs, connectivity, cells, joins)
-            : scan_tile(image, p, tile, runs, connectivity, joins);
+    tile.used = stats != nullptr
+                    ? scan_tile(image, p, tile, runs, connectivity, cells,
+                                joins, threshold)
+                    : scan_tile(image, p, tile, runs, connectivity, joins,
+                                threshold);
   }
   result.timings.scan_ms = phase.elapsed_ms();
   {
@@ -171,11 +174,16 @@ LabelingResult label_runs_impl(ConstImageView image, Connectivity connectivity,
 }
 
 /// Full-width row bands for paremsp_rle: about one band per thread,
-/// clamped so every band has at least one row.
+/// clamped so every band has at least one row, then rounded UP to even so
+/// every band starts on an even row — the 8-connected scan's pair order
+/// then aligns with the global two-line pairing and the canonical
+/// renumber walk collapses (resolve_final_run_labels).
 Coord band_rows(Coord rows, int threads) {
   const int n = std::clamp<int>(threads, 1, static_cast<int>(
                                                 std::max<Coord>(rows, 1)));
-  return std::max<Coord>(1, (rows + n - 1) / n);
+  Coord band = std::max<Coord>(1, (rows + n - 1) / n);
+  if (band < rows && band % 2 != 0) ++band;
+  return band;
 }
 
 }  // namespace
@@ -189,6 +197,18 @@ LabelingResult AremspRleLabeler::run_impl(ConstImageView image,
                          std::max<Coord>(image.rows(), 1),
                          std::max<Coord>(image.cols(), 1), /*threads=*/1,
                          MergeBackend::Sequential, nullptr);
+}
+
+LabelingResult AremspRleLabeler::run_gray_impl(ConstImageView gray,
+                                               std::uint8_t cutoff,
+                                               Connectivity connectivity,
+                                               LabelScratch& scratch,
+                                               analysis::ComponentStats* stats)
+    const {
+  return label_runs_impl(gray, connectivity, scratch, stats,
+                         std::max<Coord>(gray.rows(), 1),
+                         std::max<Coord>(gray.cols(), 1), /*threads=*/1,
+                         MergeBackend::Sequential, nullptr, cutoff);
 }
 
 ParemspRleLabeler::ParemspRleLabeler(RleConfig config,
@@ -215,6 +235,17 @@ LabelingResult ParemspRleLabeler::run_impl(ConstImageView image,
                          config_.merge_backend, locks_.get());
 }
 
+LabelingResult ParemspRleLabeler::run_gray_impl(
+    ConstImageView gray, std::uint8_t cutoff, Connectivity connectivity,
+    LabelScratch& scratch, analysis::ComponentStats* stats) const {
+  const int threads =
+      config_.threads > 0 ? config_.threads : omp_get_max_threads();
+  return label_runs_impl(gray, connectivity, scratch, stats,
+                         band_rows(gray.rows(), threads),
+                         std::max<Coord>(gray.cols(), 1), threads,
+                         config_.merge_backend, locks_.get(), cutoff);
+}
+
 TiledParemspRleLabeler::TiledParemspRleLabeler(RleConfig config,
                                                Connectivity connectivity)
     : Labeler(Algorithm::ParemspTiledRle, connectivity), config_(config) {
@@ -236,6 +267,16 @@ LabelingResult TiledParemspRleLabeler::run_impl(
   return label_runs_impl(image, connectivity, scratch, stats,
                          config_.tile_rows, config_.tile_cols, threads,
                          config_.merge_backend, locks_.get());
+}
+
+LabelingResult TiledParemspRleLabeler::run_gray_impl(
+    ConstImageView gray, std::uint8_t cutoff, Connectivity connectivity,
+    LabelScratch& scratch, analysis::ComponentStats* stats) const {
+  const int threads =
+      config_.threads > 0 ? config_.threads : omp_get_max_threads();
+  return label_runs_impl(gray, connectivity, scratch, stats,
+                         config_.tile_rows, config_.tile_cols, threads,
+                         config_.merge_backend, locks_.get(), cutoff);
 }
 
 }  // namespace paremsp

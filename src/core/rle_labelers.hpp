@@ -70,6 +70,12 @@ class AremspRleLabeler final : public Labeler {
                                         LabelScratch& scratch,
                                         analysis::ComponentStats* stats)
       const override;
+  [[nodiscard]] LabelingResult run_gray_impl(ConstImageView gray,
+                                             std::uint8_t cutoff,
+                                             Connectivity connectivity,
+                                             LabelScratch& scratch,
+                                             analysis::ComponentStats* stats)
+      const override;
 };
 
 /// Row-banded parallel run-based PAREMSP.
@@ -90,6 +96,12 @@ class ParemspRleLabeler final : public Labeler {
                                         Connectivity connectivity,
                                         LabelScratch& scratch,
                                         analysis::ComponentStats* stats)
+      const override;
+  [[nodiscard]] LabelingResult run_gray_impl(ConstImageView gray,
+                                             std::uint8_t cutoff,
+                                             Connectivity connectivity,
+                                             LabelScratch& scratch,
+                                             analysis::ComponentStats* stats)
       const override;
 
  private:
@@ -115,6 +127,12 @@ class TiledParemspRleLabeler final : public Labeler {
                                         Connectivity connectivity,
                                         LabelScratch& scratch,
                                         analysis::ComponentStats* stats)
+      const override;
+  [[nodiscard]] LabelingResult run_gray_impl(ConstImageView gray,
+                                             std::uint8_t cutoff,
+                                             Connectivity connectivity,
+                                             LabelScratch& scratch,
+                                             analysis::ComponentStats* stats)
       const override;
 
  private:

@@ -4,7 +4,7 @@
 namespace paremsp {
 
 void RunBuffer::extract(ConstImageView image, Coord row_begin, Coord row_end,
-                        Coord col_begin, Coord col_end) {
+                        Coord col_begin, Coord col_end, int threshold) {
   row_begin_ = row_begin;
   row_end_ = row_end;
   runs_.clear();
@@ -14,7 +14,12 @@ void RunBuffer::extract(ConstImageView image, Coord row_begin, Coord row_end,
   offsets_[0] = 0;
 
   for (Coord r = row_begin; r < row_end; ++r) {
-    bits_.encode(image, r, col_begin, col_end);
+    if (threshold >= 0) {
+      bits_.encode_threshold(image, r, col_begin, col_end,
+                             static_cast<std::uint8_t>(threshold));
+    } else {
+      bits_.encode(image, r, col_begin, col_end);
+    }
     const std::span<const std::uint64_t> words = bits_.words();
     // `open` is the start column of a run still growing at the end of the
     // previous word (-1 when none) — the stitch across word boundaries.

@@ -30,11 +30,15 @@
 // connectivity; the distinct names pin which pixel kernel each replaces
 // and keep call sites greppable against their pixel twins.
 //
-// Label-minima invariant (DESIGN.md §3, §8): labels are issued in
-// row-major run order, so under REM every component's root is its first
-// run in that order, exactly like the pixel scans — which is what lets the
-// rle labelers reuse the canonical first-appearance renumber to stay
-// bit-identical to sequential AREMSP.
+// Label-minima invariant (DESIGN.md §3, §8): the 8-connected scan issues
+// labels in the sequential TWO-LINE visit order (row pairs, column by
+// column, upper before lower — merge_row_pair_runs) and the 4-connected
+// scan in row-major run order, so under REM every component's root is its
+// first run in the SAME order the canonical renumber walks
+// (resolve_final_run_labels) — which is what lets the rle labelers stay
+// bit-identical to sequential AREMSP, and lets pair-aligned full-width
+// tile bands skip the renumber walk entirely (the flatten already
+// numbers components canonically).
 #pragma once
 
 #include <bit>
@@ -78,8 +82,12 @@ class RunBuffer {
   /// replacing any previous contents. Column coordinates in the emitted
   /// runs are absolute image columns. Storage (runs, offsets, the RowBits
   /// words) is grown once and reused allocation-free afterwards.
+  /// `threshold` >= 0 treats `image` as GRAYSCALE and extracts runs of
+  /// pixels > threshold via the fused encoder (RowBits::encode_threshold)
+  /// — no intermediate binary plane; -1 is the plain binary mode
+  /// (foreground = nonzero).
   void extract(ConstImageView image, Coord row_begin, Coord row_end,
-               Coord col_begin, Coord col_end);
+               Coord col_begin, Coord col_end, int threshold = -1);
 
   /// Runs of image row r (requires row_begin() <= r < row_end()).
   [[nodiscard]] std::span<Run> row(Coord r) noexcept {
@@ -138,20 +146,97 @@ void merge_row_runs(std::span<Run> cur, std::span<const Run> prev,
   }
 }
 
+/// Two-line merge step for one ROW PAIR (8-connectivity): visit the upper
+/// and lower rows' runs merged by (col_begin, upper first on ties) — the
+/// sequential two-line visit order — assigning labels exactly as
+/// merge_row_runs would. `prev` is the row ABOVE the pair (fully labeled
+/// by the previous pair); the lower row is two rows away from it and
+/// never adjacent. Issuing labels in this order makes every fresh-label
+/// event coincide with a component's two-line first appearance, so the
+/// canonical renumber in resolve_final_run_labels collapses to the
+/// identity for pair-aligned full-width tile bands — the single-tile /
+/// row-band fast path skips the walk entirely.
+///
+/// Within the pair, the LATER-visited run of an adjacent (upper, lower)
+/// pair records the equivalence, and at most one earlier-visited run of
+/// the other row can be adjacent to it — the most recently visited one:
+/// were an other-row run o adjacent but a second other-row run o2 visited
+/// between o and the current run x, then o2.col_begin >= o.col_end + 1
+/// (maximal runs are separated) and o2.col_begin <= x.col_begin (visit
+/// order), contradicting adjacency x.col_begin <= o.col_end. Hence the
+/// single last_upper/last_lower probe replaces an inner overlap loop.
+template <class Equiv, class FeatureSink>
+void merge_row_pair_runs(std::span<Run> upper, std::span<Run> lower,
+                         std::span<const Run> prev, Equiv& eq,
+                         FeatureSink& sink) {
+  const Run* last_upper = nullptr;
+  const Run* last_lower = nullptr;
+  std::size_t u = 0;
+  std::size_t l = 0;
+  std::size_t j = 0;
+  while (u < upper.size() || l < lower.size()) {
+    const bool take_upper =
+        l >= lower.size() ||
+        (u < upper.size() && upper[u].col_begin <= lower[l].col_begin);
+    if (take_upper) {
+      Run& run = upper[u++];
+      Label label = 0;
+      // Window-1 walk over the row above the pair (cf. merge_row_runs).
+      while (j < prev.size() && prev[j].col_end + 1 <= run.col_begin) ++j;
+      for (std::size_t k = j;
+           k < prev.size() && prev[k].col_begin < run.col_end + 1; ++k) {
+        label = label == 0 ? eq.copy(prev[k].label)
+                           : eq.merge(label, prev[k].label);
+      }
+      if (last_lower != nullptr && run.col_begin <= last_lower->col_end) {
+        label = label == 0 ? eq.copy(last_lower->label)
+                           : eq.merge(label, last_lower->label);
+      }
+      if (label == 0) {
+        label = eq.new_label();
+        sink.fresh(label);
+      }
+      run.label = label;
+      sink.add_run(label, run.row, run.col_begin, run.col_end);
+      last_upper = &run;
+    } else {
+      Run& run = lower[l++];
+      Label label;
+      if (last_upper != nullptr && run.col_begin <= last_upper->col_end) {
+        label = eq.copy(last_upper->label);
+      } else {
+        label = eq.new_label();
+        sink.fresh(label);
+      }
+      run.label = label;
+      sink.add_run(label, run.row, run.col_begin, run.col_end);
+      last_lower = &run;
+    }
+  }
+}
+
 /// Record one unite() per 8/4-adjacent run pair between two already
-/// labeled rows (seam merging between chunks/tiles). Same two-pointer
-/// walk as merge_row_runs, but both sides keep their labels.
+/// labeled rows (seam merging between chunks/tiles). Branch-reduced
+/// min-end-advance sweep: extend BOTH runs' ends by `window` — adjacency
+/// becomes plain interval overlap, and the extended intervals stay
+/// disjoint within each row (maximal runs are separated by >= 1 column
+/// and window <= 1), so the classic two-pointer intersection sweep
+/// enumerates every adjacent pair exactly once with no inner loop — one
+/// predictable advance per iteration instead of a data-dependent rescan.
 template <class UniteFn>
 void unite_overlapping_runs(std::span<const Run> cur,
                             std::span<const Run> prev, Coord window,
                             UniteFn&& unite) {
+  std::size_t i = 0;
   std::size_t j = 0;
-  for (const Run& run : cur) {
-    while (j < prev.size() && prev[j].col_end + window <= run.col_begin) ++j;
-    for (std::size_t k = j;
-         k < prev.size() && prev[k].col_begin < run.col_end + window; ++k) {
-      unite(run.label, prev[k].label);
+  while (i < cur.size() && j < prev.size()) {
+    const Coord ae = cur[i].col_end + window;
+    const Coord be = prev[j].col_end + window;
+    if (cur[i].col_begin < be && prev[j].col_begin < ae) {
+      unite(cur[i].label, prev[j].label);
     }
+    i += static_cast<std::size_t>(ae <= be);
+    j += static_cast<std::size_t>(be <= ae);
   }
 }
 
@@ -164,17 +249,33 @@ void unite_overlapping_runs(std::span<const Run> cur,
 }
 
 /// Run-based Scan Phase over the rectangle rows [row_begin, row_end) x
-/// cols [col_begin, col_end): extract runs, then merge each row against
-/// the previous one. Rows outside the rectangle count as background
-/// (chunking/tiling contract of the pixel kernels); the suppressed
-/// cross-boundary adjacencies are restored by the run seam merges.
-/// Returns the number of provisional labels issued through `eq`.
+/// cols [col_begin, col_end): extract runs, then merge them against the
+/// previous row. The window-1 (8-connected) scan merges in TWO-LINE ROW
+/// PAIRS so labels are issued in the sequential visit order
+/// (merge_row_pair_runs); window 0 keeps the row-major walk, whose
+/// issuance is already raster-canonical. Rows outside the rectangle count
+/// as background (chunking/tiling contract of the pixel kernels); the
+/// suppressed cross-boundary adjacencies are restored by the run seam
+/// merges. `threshold` >= 0 scans a grayscale image through the fused
+/// pixel > threshold encoder (see RunBuffer::extract). Returns the number
+/// of provisional labels issued through `eq`.
 template <class Equiv, class FeatureSink>
 Label scan_runs(ConstImageView image, RunBuffer& runs, Equiv& eq,
                 FeatureSink& sink, Coord window, Coord row_begin,
-                Coord row_end, Coord col_begin, Coord col_end) {
-  runs.extract(image, row_begin, row_end, col_begin, col_end);
+                Coord row_end, Coord col_begin, Coord col_end,
+                int threshold = -1) {
+  runs.extract(image, row_begin, row_end, col_begin, col_end, threshold);
   std::span<const Run> prev{};
+  if (window == 1) {
+    for (Coord r = row_begin; r < row_end; r += 2) {
+      const std::span<Run> upper = runs.row(r);
+      const std::span<Run> lower =
+          r + 1 < row_end ? runs.row(r + 1) : std::span<Run>{};
+      merge_row_pair_runs(upper, lower, prev, eq, sink);
+      prev = lower;  // the next pair's row above (unused after the last)
+    }
+    return eq.used();
+  }
   for (Coord r = row_begin; r < row_end; ++r) {
     const std::span<Run> cur = runs.row(r);
     merge_row_runs(cur, prev, window, eq, sink);
@@ -190,9 +291,9 @@ Label scan_runs(ConstImageView image, RunBuffer& runs, Equiv& eq,
 template <class Equiv, class FeatureSink>
 Label scan_runs_two_line(ConstImageView image, RunBuffer& runs, Equiv& eq,
                          FeatureSink& sink, Coord row_begin, Coord row_end,
-                         Coord col_begin, Coord col_end) {
+                         Coord col_begin, Coord col_end, int threshold = -1) {
   return scan_runs(image, runs, eq, sink, /*window=*/1, row_begin, row_end,
-                   col_begin, col_end);
+                   col_begin, col_end, threshold);
 }
 
 /// Run twin of scan_one_line (the CCLREMSP/CCLLRPC decision tree),
@@ -202,9 +303,9 @@ template <class Equiv, class FeatureSink>
 Label scan_runs_one_line(ConstImageView image, RunBuffer& runs, Equiv& eq,
                          FeatureSink& sink, Connectivity connectivity,
                          Coord row_begin, Coord row_end, Coord col_begin,
-                         Coord col_end) {
+                         Coord col_end, int threshold = -1) {
   return scan_runs(image, runs, eq, sink, run_overlap_window(connectivity),
-                   row_begin, row_end, col_begin, col_end);
+                   row_begin, row_end, col_begin, col_end, threshold);
 }
 
 }  // namespace paremsp

@@ -64,29 +64,33 @@ TileGridShape tile_grid_shape(std::span<const TileSpec> tiles) {
 
 Label scan_tile(ConstImageView image, std::span<Label> parents,
                 const TileSpec& tile, RunBuffer& runs,
-                Connectivity connectivity, std::uint64_t* joins) {
+                Connectivity connectivity, std::uint64_t* joins,
+                int threshold) {
   RemEquiv eq(parents, tile.base, joins);
   NoFeatureSink sink;
   return connectivity == Connectivity::Eight
              ? scan_runs_two_line(image, runs, eq, sink, tile.row_begin,
-                                  tile.row_end, tile.col_begin, tile.col_end)
+                                  tile.row_end, tile.col_begin, tile.col_end,
+                                  threshold)
              : scan_runs_one_line(image, runs, eq, sink, connectivity,
                                   tile.row_begin, tile.row_end,
-                                  tile.col_begin, tile.col_end);
+                                  tile.col_begin, tile.col_end, threshold);
 }
 
 Label scan_tile(ConstImageView image, std::span<Label> parents,
                 const TileSpec& tile, RunBuffer& runs,
                 Connectivity connectivity,
-                std::span<analysis::FeatureCell> cells, std::uint64_t* joins) {
+                std::span<analysis::FeatureCell> cells, std::uint64_t* joins,
+                int threshold) {
   RemEquiv eq(parents, tile.base, joins);
   analysis::FeatureAccumulator sink(cells);
   return connectivity == Connectivity::Eight
              ? scan_runs_two_line(image, runs, eq, sink, tile.row_begin,
-                                  tile.row_end, tile.col_begin, tile.col_end)
+                                  tile.row_end, tile.col_begin, tile.col_end,
+                                  threshold)
              : scan_runs_one_line(image, runs, eq, sink, connectivity,
                                   tile.row_begin, tile.row_end,
-                                  tile.col_begin, tile.col_end);
+                                  tile.col_begin, tile.col_end, threshold);
 }
 
 namespace {
@@ -183,10 +187,19 @@ Label resolve_final_run_labels(std::span<Label> parents,
   };
 
   if (connectivity == Connectivity::Eight && grid.grid_cols == 1) {
-    // Full-width tiles (aremsp_rle, paremsp_rle row bands): each image
-    // row's runs are ONE contiguous span, so the pair merge runs on raw
-    // spans with no cursor indirection — this walk is on the critical
-    // path of the sequential labeler.
+    // Full-width tiles whose rows start EVEN are the paper's row chunks:
+    // bases increase in band order and the run scan issues labels in
+    // two-line pair order aligned with the global pairing
+    // (merge_row_pair_runs), so the flatten above already numbered
+    // components by two-line first appearance — the walk is the identity
+    // and is skipped, same argument as the pixel chunk_equivalent path.
+    const bool pair_aligned =
+        std::all_of(tiles.begin(), tiles.end(),
+                    [](const TileSpec& t) { return t.row_begin % 2 == 0; });
+    if (pair_aligned) return k;
+    // Odd-aligned full-width bands: each image row's runs are ONE
+    // contiguous span, so the pair merge runs on raw spans with no
+    // cursor indirection.
     const auto row_span = [&](Coord r) {
       return tile_runs[static_cast<std::size_t>(r / grid.tile_rows)].row(r);
     };

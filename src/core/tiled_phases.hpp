@@ -133,10 +133,14 @@ struct TileGridShape {
 /// both connectivities route through the one kernel (the overlap window
 /// is the only difference). Thread-safe across distinct tiles exactly
 /// like the pixel scan_tile: disjoint label ranges, disjoint buffers.
+/// `threshold` >= 0 scans a GRAYSCALE image through the fused
+/// pixel > threshold encoder (RunBuffer::extract) — the rle pipelines'
+/// im2bw fusion; -1 is the plain binary mode.
 [[nodiscard]] Label scan_tile(ConstImageView image, std::span<Label> parents,
                               const TileSpec& tile, RunBuffer& runs,
                               Connectivity connectivity,
-                              std::uint64_t* joins = nullptr);
+                              std::uint64_t* joins = nullptr,
+                              int threshold = -1);
 
 /// Fused-analysis variant: every run is additionally folded into `cells`
 /// in O(1) via the arithmetic-series coordinate sums
@@ -145,7 +149,8 @@ struct TileGridShape {
                               const TileSpec& tile, RunBuffer& runs,
                               Connectivity connectivity,
                               std::span<analysis::FeatureCell> cells,
-                              std::uint64_t* joins = nullptr);
+                              std::uint64_t* joins = nullptr,
+                              int threshold = -1);
 
 /// Run-based Phase II for tile `t`: feed every 4/8-adjacency crossing the
 /// tile's top and left seams to `unite(Label, Label)`, operating on the
@@ -229,7 +234,11 @@ void merge_run_seams(std::span<const TileSpec> tiles,
 ///                   pair's two run streams by (col_begin, parity)
 ///                   reproduces sequential AREMSP's numbering exactly —
 ///                   the rle pipelines are bit-identical to AREMSP for
-///                   every chunking and tile geometry.
+///                   every chunking and tile geometry. Full-width bands
+///                   whose rows start even skip the walk: the scan
+///                   issues labels in that very order
+///                   (merge_row_pair_runs), so the flatten is already
+///                   canonical.
 ///   4-connectivity  first appearance in raster order (the numbering of
 ///                   the one-line-scan algorithms and the flood-fill
 ///                   oracle); full-width tile bands already flatten into

@@ -49,6 +49,10 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     if (options_.merge_backend == MergeBackend::LockedRem) {
       locks_ = std::make_unique<uf::LockPool>(options_.lock_bits);
     }
+    if (request_.threshold.has_value()) {
+      // Exact integer form of im2bw's compare (see LabelRequest).
+      cutoff_ = static_cast<int>(*request_.threshold * 255.0);
+    }
   }
 
   /// Fan out the Phase-I scan jobs (bounded pushes: this runs on the
@@ -57,7 +61,7 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
 
  private:
   [[nodiscard]] ConstImageView image() const noexcept {
-    return request_.input;
+    return binary_.size() != 0 ? ConstImageView(binary_) : request_.input;
   }
   [[nodiscard]] bool with_stats() const noexcept {
     return request_.outputs.stats;
@@ -70,6 +74,19 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   }
 
   void launch() {
+    if (cutoff_ >= 0 && !scans_runs() && request_.input.size() != 0) {
+      // Pixel shards have no fused threshold kernel: binarize the
+      // grayscale input once up front (the Runs pipeline instead fuses
+      // the compare into per-tile run extraction and never does this).
+      binary_ = BinaryImage(request_.input.rows(), request_.input.cols());
+      for (Coord r = 0; r < request_.input.rows(); ++r) {
+        const std::uint8_t* src = request_.input.row(r);
+        std::uint8_t* dst = binary_.row(r);
+        for (Coord c = 0; c < request_.input.cols(); ++c) {
+          dst[c] = src[c] > cutoff_ ? std::uint8_t{1} : std::uint8_t{0};
+        }
+      }
+    }
     result_.labels = engine_.take_recycled_plane();
     result_.labels.resize_for_overwrite(image().rows(), image().cols());
     if (image().size() == 0) {
@@ -132,9 +149,9 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
               with_stats()
                   ? scan_tile(image(), parents, tile, tile_runs_[t],
                               connectivity_, {cells_.data.get(), parents_size_},
-                              joins)
+                              joins, cutoff_)
                   : scan_tile(image(), parents, tile, tile_runs_[t],
-                              connectivity_, joins);
+                              connectivity_, joins, cutoff_);
         } else {
           tile.used =
               with_stats()
@@ -500,6 +517,8 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   const Connectivity connectivity_;  // effective (validated) connectivity
   LabelingEngine::Deliver deliver_;
   std::unique_ptr<uf::LockPool> locks_;
+  int cutoff_ = -1;      // request threshold as an integer cutoff; -1 unset
+  BinaryImage binary_;   // pixel-mode upfront binarization (threshold only)
 
   LabelingResult result_;
   analysis::ComponentStats stats_;       // fused features (outputs.stats)

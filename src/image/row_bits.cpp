@@ -1,0 +1,290 @@
+// Row-packing kernel tiers + runtime dispatch (see row_bits.hpp).
+//
+// Every x86 tier is compiled into every build via function-level target
+// attributes — the translation unit itself needs no -mavx2, so a
+// baseline-ISA binary carries (and, on capable hosts, dispatches to) the
+// AVX2 kernels, and a -mavx2 build still contains the scalar/SSE2 oracles
+// the differential tests force through pack_kernels(tier).
+//
+// Kernel shape, all tiers: full 64-pixel words are packed 16 or 32 pixels
+// per step (compare + movemask), the sub-word tail packs vector-width
+// steps while they fit and finishes with scalar loads — no kernel ever
+// reads past px[width - 1], which is what keeps pitch-strided ROI encodes
+// ASan-clean with zero padding requirements on the caller.
+//
+// The threshold kernels evaluate the unsigned compare (px > cutoff) with
+// the classic signed trick: XOR both sides with 0x80 and use the signed
+// cmpgt — exact for all 256 x 256 (pixel, cutoff) pairs, which the
+// threshold suite sweeps exhaustively against the scalar oracle.
+#include "image/row_bits.hpp"
+
+#include "common/env.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define PAREMSP_X86 1
+#include <immintrin.h>
+#endif
+
+namespace paremsp {
+
+namespace {
+
+// --- Scalar tier (portable oracle) ------------------------------------------
+
+void scalar_pack_row(const std::uint8_t* px, Coord width,
+                     std::uint64_t* words) {
+  Coord c = 0;
+  std::size_t w = 0;
+  for (; c + 64 <= width; c += 64, ++w) {
+    std::uint64_t word = 0;
+    for (int k = 0; k < 64; k += 8) {
+      word |= RowBits::pack8(px + c + k) << k;
+    }
+    words[w] = word;
+  }
+  if (c < width) {
+    std::uint64_t word = 0;
+    int bit = 0;
+    for (; c + 8 <= width; c += 8, bit += 8) {
+      word |= RowBits::pack8(px + c) << bit;
+    }
+    for (; c < width; ++c, ++bit) {
+      word |= static_cast<std::uint64_t>(px[c] != 0) << bit;
+    }
+    words[w] = word;
+  }
+}
+
+void scalar_pack_row_threshold(const std::uint8_t* px, Coord width,
+                               std::uint8_t cutoff, std::uint64_t* words) {
+  Coord c = 0;
+  std::size_t w = 0;
+  for (; c + 64 <= width; c += 64, ++w) {
+    std::uint64_t word = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+      word |= static_cast<std::uint64_t>(px[c + bit] > cutoff) << bit;
+    }
+    words[w] = word;
+  }
+  if (c < width) {
+    std::uint64_t word = 0;
+    for (int bit = 0; c < width; ++c, ++bit) {
+      word |= static_cast<std::uint64_t>(px[c] > cutoff) << bit;
+    }
+    words[w] = word;
+  }
+}
+
+constexpr PackKernels kScalarKernels{scalar_pack_row,
+                                     scalar_pack_row_threshold};
+
+#ifdef PAREMSP_X86
+
+// --- SSE2 tier: 16 px/step ---------------------------------------------------
+
+/// Mask of "px[i] != 0" for 16 pixels: bytes equal to zero movemask to
+/// set bits, so the nonzero mask is the 16-bit complement.
+__attribute__((target("sse2"))) inline std::uint64_t nonzero16(
+    const std::uint8_t* px) {
+  const __m128i v =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(px));
+  const int zeros = _mm_movemask_epi8(_mm_cmpeq_epi8(v, _mm_setzero_si128()));
+  return static_cast<std::uint64_t>(~zeros & 0xFFFF);
+}
+
+__attribute__((target("sse2"))) void sse2_pack_row(const std::uint8_t* px,
+                                                   Coord width,
+                                                   std::uint64_t* words) {
+  Coord c = 0;
+  std::size_t w = 0;
+  for (; c + 64 <= width; c += 64, ++w) {
+    words[w] = nonzero16(px + c) | (nonzero16(px + c + 16) << 16) |
+               (nonzero16(px + c + 32) << 32) | (nonzero16(px + c + 48) << 48);
+  }
+  if (c < width) {
+    std::uint64_t word = 0;
+    int bit = 0;
+    for (; c + 16 <= width; c += 16, bit += 16) {
+      word |= nonzero16(px + c) << bit;
+    }
+    for (; c < width; ++c, ++bit) {
+      word |= static_cast<std::uint64_t>(px[c] != 0) << bit;
+    }
+    words[w] = word;
+  }
+}
+
+/// Mask of "px[i] > cutoff" (unsigned) for 16 pixels via the signed-XOR
+/// trick; `biased_cut` is _mm_set1_epi8(cutoff ^ 0x80).
+__attribute__((target("sse2"))) inline std::uint64_t above16(
+    const std::uint8_t* px, __m128i bias, __m128i biased_cut) {
+  const __m128i v =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(px));
+  const int m = _mm_movemask_epi8(_mm_cmpgt_epi8(_mm_xor_si128(v, bias),
+                                                 biased_cut));
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(m));
+}
+
+__attribute__((target("sse2"))) void sse2_pack_row_threshold(
+    const std::uint8_t* px, Coord width, std::uint8_t cutoff,
+    std::uint64_t* words) {
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  const __m128i biased_cut = _mm_set1_epi8(static_cast<char>(cutoff ^ 0x80));
+  Coord c = 0;
+  std::size_t w = 0;
+  for (; c + 64 <= width; c += 64, ++w) {
+    words[w] = above16(px + c, bias, biased_cut) |
+               (above16(px + c + 16, bias, biased_cut) << 16) |
+               (above16(px + c + 32, bias, biased_cut) << 32) |
+               (above16(px + c + 48, bias, biased_cut) << 48);
+  }
+  if (c < width) {
+    std::uint64_t word = 0;
+    int bit = 0;
+    for (; c + 16 <= width; c += 16, bit += 16) {
+      word |= above16(px + c, bias, biased_cut) << bit;
+    }
+    for (; c < width; ++c, ++bit) {
+      word |= static_cast<std::uint64_t>(px[c] > cutoff) << bit;
+    }
+    words[w] = word;
+  }
+}
+
+constexpr PackKernels kSse2Kernels{sse2_pack_row, sse2_pack_row_threshold};
+
+// --- AVX2 tier: 32 px/step ---------------------------------------------------
+
+__attribute__((target("avx2"))) inline std::uint64_t nonzero32(
+    const std::uint8_t* px) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(px));
+  const int zeros =
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, _mm256_setzero_si256()));
+  return static_cast<std::uint64_t>(~static_cast<std::uint32_t>(zeros));
+}
+
+__attribute__((target("avx2"))) void avx2_pack_row(const std::uint8_t* px,
+                                                   Coord width,
+                                                   std::uint64_t* words) {
+  Coord c = 0;
+  std::size_t w = 0;
+  for (; c + 64 <= width; c += 64, ++w) {
+    words[w] = nonzero32(px + c) | (nonzero32(px + c + 32) << 32);
+  }
+  if (c < width) {
+    std::uint64_t word = 0;
+    int bit = 0;
+    for (; c + 32 <= width; c += 32, bit += 32) {
+      word |= nonzero32(px + c) << bit;
+    }
+    for (; c < width; ++c, ++bit) {
+      word |= static_cast<std::uint64_t>(px[c] != 0) << bit;
+    }
+    words[w] = word;
+  }
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t above32(
+    const std::uint8_t* px, __m256i bias, __m256i biased_cut) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(px));
+  const int m = _mm256_movemask_epi8(
+      _mm256_cmpgt_epi8(_mm256_xor_si256(v, bias), biased_cut));
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(m));
+}
+
+__attribute__((target("avx2"))) void avx2_pack_row_threshold(
+    const std::uint8_t* px, Coord width, std::uint8_t cutoff,
+    std::uint64_t* words) {
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  const __m256i biased_cut =
+      _mm256_set1_epi8(static_cast<char>(cutoff ^ 0x80));
+  Coord c = 0;
+  std::size_t w = 0;
+  for (; c + 64 <= width; c += 64, ++w) {
+    words[w] = above32(px + c, bias, biased_cut) |
+               (above32(px + c + 32, bias, biased_cut) << 32);
+  }
+  if (c < width) {
+    std::uint64_t word = 0;
+    int bit = 0;
+    for (; c + 32 <= width; c += 32, bit += 32) {
+      word |= above32(px + c, bias, biased_cut) << bit;
+    }
+    for (; c < width; ++c, ++bit) {
+      word |= static_cast<std::uint64_t>(px[c] > cutoff) << bit;
+    }
+    words[w] = word;
+  }
+}
+
+constexpr PackKernels kAvx2Kernels{avx2_pack_row, avx2_pack_row_threshold};
+
+#endif  // PAREMSP_X86
+
+SimdTier probe_simd_tier() noexcept {
+#ifdef PAREMSP_X86
+  // __builtin_cpu_supports consults the same CPUID leaves the dispatch
+  // test re-derives by hand (including the OSXSAVE/XGETBV gate on AVX2
+  // in current toolchains).
+  if (__builtin_cpu_supports("avx2")) return SimdTier::Avx2;
+  if (__builtin_cpu_supports("sse2")) return SimdTier::Sse2;
+#endif
+  return SimdTier::Scalar;
+}
+
+SimdTier parse_tier_override(SimdTier detected) noexcept {
+  const auto value = env_string("PAREMSP_SIMD");
+  if (!value.has_value()) return detected;
+  SimdTier requested = detected;
+  if (*value == "scalar") {
+    requested = SimdTier::Scalar;
+  } else if (*value == "sse2") {
+    requested = SimdTier::Sse2;
+  } else if (*value == "avx2") {
+    requested = SimdTier::Avx2;
+  }
+  return requested < detected ? requested : detected;
+}
+
+}  // namespace
+
+const char* to_string(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::Scalar: return "scalar";
+    case SimdTier::Sse2: return "sse2";
+    case SimdTier::Avx2: return "avx2";
+  }
+  return "?";
+}
+
+SimdTier detected_simd_tier() noexcept {
+  static const SimdTier tier = probe_simd_tier();
+  return tier;
+}
+
+SimdTier active_simd_tier() noexcept {
+  static const SimdTier tier = parse_tier_override(detected_simd_tier());
+  return tier;
+}
+
+const PackKernels& pack_kernels(SimdTier tier) noexcept {
+  if (tier > detected_simd_tier()) tier = detected_simd_tier();
+#ifdef PAREMSP_X86
+  switch (tier) {
+    case SimdTier::Avx2: return kAvx2Kernels;
+    case SimdTier::Sse2: return kSse2Kernels;
+    case SimdTier::Scalar: break;
+  }
+#endif
+  (void)tier;
+  return kScalarKernels;
+}
+
+const PackKernels& pack_kernels() noexcept {
+  static const PackKernels& kernels = pack_kernels(active_simd_tier());
+  return kernels;
+}
+
+}  // namespace paremsp

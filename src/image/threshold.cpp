@@ -7,12 +7,42 @@
 
 namespace paremsp {
 
+namespace {
+
+/// Per-channel Rec.601 term tables: r[v] holds the double 0.299 * v, etc.
+/// Summing table entries performs EXACTLY the additions of the per-pixel
+/// expression 0.299*R + 0.587*G + 0.114*B in the same order, so the LUT
+/// path is bit-identical to the historical per-pixel doubles on all 256^3
+/// inputs — the three multiplies are hoisted, nothing else changes.
+/// Integer tables cannot achieve this: the double pipeline rounds after
+/// each addition, and exhaustive enumeration over all 256^3 inputs shows
+/// a single end-rounded exact-arithmetic sum disagrees on 13194 of them
+/// (first at R=0 G=12 B=4, where the rounded double additions land
+/// exactly on 7.5 and lround to 8, while the exact products of the
+/// double coefficients sum to just under 7.5 and round to 7).
+struct GrayLut {
+  std::array<double, 256> r{};
+  std::array<double, 256> g{};
+  std::array<double, 256> b{};
+  GrayLut() noexcept {
+    for (int v = 0; v < 256; ++v) {
+      r[static_cast<std::size_t>(v)] = 0.299 * v;
+      g[static_cast<std::size_t>(v)] = 0.587 * v;
+      b[static_cast<std::size_t>(v)] = 0.114 * v;
+    }
+  }
+};
+const GrayLut kGrayLut;
+
+}  // namespace
+
 GrayImage rgb_to_gray(const RgbImage& image) {
   GrayImage gray(image.rows(), image.cols());
   for (Coord r = 0; r < image.rows(); ++r) {
     for (Coord c = 0; c < image.cols(); ++c) {
       const Rgb px = image(r, c);
-      const double y = 0.299 * px.r + 0.587 * px.g + 0.114 * px.b;
+      const double y =
+          kGrayLut.r[px.r] + kGrayLut.g[px.g] + kGrayLut.b[px.b];
       gray(r, c) = static_cast<std::uint8_t>(std::lround(y));
     }
   }
@@ -22,14 +52,17 @@ GrayImage rgb_to_gray(const RgbImage& image) {
 BinaryImage im2bw(const GrayImage& image, double level) {
   PAREMSP_REQUIRE(level >= 0.0 && level <= 1.0, "level must be in [0, 1]");
   // im2bw: BW(x) = 1 iff I(x) > level * 255 (strict, like MATLAB with
-  // uint8 input where the comparison is against level scaled to the range).
-  const double cutoff = level * 255.0;
+  // uint8 input). Hoisted to an integer cutoff: for integer pixels,
+  // p > level*255 <=> p > floor(level*255) (p exceeds a real iff it
+  // exceeds its floor), so the hot loop compares bytes — the exact
+  // compare the fused RowBits threshold kernels run, which keeps
+  // im2bw + label and the LabelRequest::threshold path bit-identical.
+  const int cutoff = static_cast<int>(level * 255.0);
   BinaryImage bw(image.rows(), image.cols());
   for (Coord r = 0; r < image.rows(); ++r) {
     for (Coord c = 0; c < image.cols(); ++c) {
-      bw(r, c) = static_cast<double>(image(r, c)) > cutoff
-                     ? std::uint8_t{1}
-                     : std::uint8_t{0};
+      bw(r, c) = static_cast<int>(image(r, c)) > cutoff ? std::uint8_t{1}
+                                                        : std::uint8_t{0};
     }
   }
   return bw;
@@ -68,6 +101,16 @@ double otsu_level(const GrayImage& image) {
       best_variance = between;
       best_threshold = t;
     }
+  }
+  if (best_variance < 0.0) {
+    // Uniform image: every split leaves one class empty, so the loop
+    // never scores a threshold. Define the degenerate case as the single
+    // populated bin's level — im2bw at the returned level then maps a
+    // uniform image to all-background (pixel > pixel is false), instead
+    // of the historical 0.0 promoting every nonzero pixel to foreground.
+    int v = 0;
+    while (hist[static_cast<std::size_t>(v)] == 0) ++v;
+    best_threshold = v;
   }
   return static_cast<double>(best_threshold) / 255.0;
 }

@@ -25,7 +25,10 @@ namespace paremsp {
 
 /// Otsu's method: histogram-based threshold that maximizes between-class
 /// variance. Returns a level in [0, 1] suitable for im2bw (extension; not
-/// used by the paper, useful for real-world inputs).
+/// used by the paper, useful for real-world inputs). Degenerate case: a
+/// UNIFORM image (single populated histogram bin, value v) has no valid
+/// two-class split, so the returned level is v / 255 — im2bw at that
+/// level maps the image to all-background.
 [[nodiscard]] double otsu_level(const GrayImage& image);
 
 }  // namespace paremsp

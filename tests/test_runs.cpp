@@ -5,7 +5,9 @@
 // ShardScan::Runs pipeline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -26,6 +28,7 @@
 #include "fixtures.hpp"
 #include "image/generators.hpp"
 #include "image/row_bits.hpp"
+#include "image/threshold.hpp"
 
 namespace paremsp {
 namespace {
@@ -92,6 +95,177 @@ TEST(RowBits, EncodeZeroPadsTheTailWord) {
   ASSERT_EQ(bits.words().size(), 2u);
   EXPECT_EQ(bits.words()[0], ~std::uint64_t{0});
   EXPECT_EQ(bits.words()[1], (std::uint64_t{1} << 6) - 1);  // only 6 bits
+}
+
+// --- SIMD pack kernels: per-tier differential vs the scalar oracle ----------
+
+/// Every tier the host can actually run (the dispatcher clamps requests
+/// above detected_simd_tier(), so asking for more would silently re-test
+/// the same table).
+std::vector<SimdTier> runnable_tiers() {
+  std::vector<SimdTier> tiers = {SimdTier::Scalar};
+  if (detected_simd_tier() >= SimdTier::Sse2) tiers.push_back(SimdTier::Sse2);
+  if (detected_simd_tier() >= SimdTier::Avx2) tiers.push_back(SimdTier::Avx2);
+  return tiers;
+}
+
+/// Deterministic byte stream covering all 256 values (LCG).
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> v(n);
+  std::uint64_t s = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  for (auto& b : v) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    b = static_cast<std::uint8_t>(s >> 56);
+  }
+  return v;
+}
+
+TEST(SimdPack, EveryTierMatchesScalarOracleAcrossWidths) {
+  // Widths 1..257 cover every vector-width remainder class (16, 32, 64)
+  // plus multi-word rows; exact-size heap rows make any overread a
+  // heap-buffer-overflow under ASan (the no-overread kernel contract).
+  const PackKernels& scalar = pack_kernels(SimdTier::Scalar);
+  for (const SimdTier tier : runnable_tiers()) {
+    const PackKernels& kernels = pack_kernels(tier);
+    for (Coord width = 1; width <= 257; ++width) {
+      // Sparse-ish bytes so both zero and nonzero lanes occur.
+      std::vector<std::uint8_t> px =
+          random_bytes(static_cast<std::size_t>(width),
+                       static_cast<std::uint64_t>(width) * 31 + 7);
+      for (std::size_t i = 0; i < px.size(); i += 3) px[i] = 0;
+      const std::size_t nwords = (static_cast<std::size_t>(width) + 63) / 64;
+      constexpr std::uint64_t kSentinel = 0xDEADBEEFDEADBEEFULL;
+      std::vector<std::uint64_t> want(nwords + 1, kSentinel);
+      std::vector<std::uint64_t> got(nwords + 1, kSentinel);
+      scalar.pack_row(px.data(), width, want.data());
+      kernels.pack_row(px.data(), width, got.data());
+      for (std::size_t w = 0; w < nwords; ++w) {
+        ASSERT_EQ(got[w], want[w]) << to_string(tier) << " width " << width
+                                   << " word " << w;
+      }
+      ASSERT_EQ(got[nwords], kSentinel) << to_string(tier) << " width "
+                                        << width << " wrote past the tail";
+      for (const std::uint8_t cutoff : {0, 1, 127, 128, 200, 254, 255}) {
+        std::fill(want.begin(), want.end(), kSentinel);
+        std::fill(got.begin(), got.end(), kSentinel);
+        scalar.pack_row_threshold(px.data(), width, cutoff, want.data());
+        kernels.pack_row_threshold(px.data(), width, cutoff, got.data());
+        for (std::size_t w = 0; w < nwords; ++w) {
+          ASSERT_EQ(got[w], want[w])
+              << to_string(tier) << " width " << width << " cutoff "
+              << int{cutoff} << " word " << w;
+        }
+        ASSERT_EQ(got[nwords], kSentinel)
+            << to_string(tier) << " cutoff " << int{cutoff};
+      }
+    }
+  }
+}
+
+TEST(SimdPack, ThresholdKernelsExhaustiveOverPixelAndCutoff) {
+  // All 256 x 256 (pixel value, cutoff) pairs through every runnable
+  // tier: a 256-wide row holding every byte value, checked bit-for-bit
+  // against the strict > compare.
+  std::vector<std::uint8_t> px(256);
+  for (int v = 0; v < 256; ++v) px[static_cast<std::size_t>(v)] =
+      static_cast<std::uint8_t>(v);
+  for (const SimdTier tier : runnable_tiers()) {
+    const PackKernels& kernels = pack_kernels(tier);
+    std::vector<std::uint64_t> words(4);
+    for (int cutoff = 0; cutoff < 256; ++cutoff) {
+      kernels.pack_row_threshold(px.data(), 256,
+                                 static_cast<std::uint8_t>(cutoff),
+                                 words.data());
+      for (int v = 0; v < 256; ++v) {
+        const bool bit = (words[static_cast<std::size_t>(v) / 64] >>
+                          (static_cast<std::size_t>(v) % 64)) & 1u;
+        ASSERT_EQ(bit, v > cutoff)
+            << to_string(tier) << " pixel " << v << " cutoff " << cutoff;
+      }
+    }
+  }
+}
+
+TEST(SimdPack, StridedSubviewEncodesIdenticallyAcrossTiers) {
+  // Pitch-strided ROI windows through RowBits::encode: the words of a
+  // subview row must match a packed copy of the same pixels, regardless
+  // of the dispatched tier (the active tier is whatever the host runs —
+  // the per-tier kernels are covered above; this pins the strided entry).
+  const BinaryImage parent = gen::uniform_noise(24, 300, 0.5, 31);
+  const ConstImageView whole = parent;
+  for (const auto& [r0, c0, nr, nc] : std::vector<std::array<Coord, 4>>{
+           {2, 3, 10, 257}, {0, 299, 5, 1}, {5, 64, 4, 130}}) {
+    const ConstImageView roi = whole.subview(r0, c0, nr, nc);
+    for (Coord r = 0; r < nr; ++r) {
+      BinaryImage packed(1, nc);
+      for (Coord c = 0; c < nc; ++c) packed(0, c) = roi(r, c);
+      RowBits from_roi;
+      RowBits from_packed;
+      from_roi.encode(roi, r, 0, nc);
+      from_packed.encode(packed, 0, 0, nc);
+      ASSERT_EQ(from_roi.words().size(), from_packed.words().size());
+      for (std::size_t w = 0; w < from_roi.words().size(); ++w) {
+        ASSERT_EQ(from_roi.words()[w], from_packed.words()[w])
+            << "roi " << r0 << "," << c0 << " row " << r << " word " << w;
+      }
+    }
+  }
+}
+
+TEST(RowBits, EncodeThresholdMatchesIm2bwPlusEncode) {
+  // The fused grayscale encoder must produce the words that binarizing
+  // first (im2bw) and then packing would — for every level, including the
+  // extremes where the whole row is background.
+  const Coord cols = 197;
+  GrayImage gray(6, cols);
+  std::vector<std::uint8_t> bytes =
+      random_bytes(static_cast<std::size_t>(6 * cols), 99);
+  for (Coord r = 0; r < 6; ++r) {
+    for (Coord c = 0; c < cols; ++c) {
+      gray(r, c) = bytes[static_cast<std::size_t>(r * cols + c)];
+    }
+  }
+  for (const double level : {0.0, 0.25, 0.5, 0.77, 1.0}) {
+    const BinaryImage bw = im2bw(gray, level);
+    const auto cutoff = static_cast<std::uint8_t>(level * 255.0);
+    for (Coord r = 0; r < 6; ++r) {
+      RowBits fused;
+      RowBits oracle;
+      fused.encode_threshold(gray, r, 0, cols, cutoff);
+      oracle.encode(bw, r, 0, cols);
+      ASSERT_EQ(fused.words().size(), oracle.words().size());
+      for (std::size_t w = 0; w < fused.words().size(); ++w) {
+        ASSERT_EQ(fused.words()[w], oracle.words()[w])
+            << "level " << level << " row " << r << " word " << w;
+      }
+    }
+  }
+}
+
+TEST(Runs, FusedThresholdExtractionMatchesBinarizedOracle) {
+  // RunBuffer::extract with a threshold must yield exactly the runs of
+  // the binarized image, including on strided ROI windows.
+  const GrayImage gray = gen::plasma(40, 170, 12);
+  for (const int cutoff : {0, 80, 127, 200, 255}) {
+    BinaryImage bw(gray.rows(), gray.cols());
+    for (Coord r = 0; r < gray.rows(); ++r) {
+      for (Coord c = 0; c < gray.cols(); ++c) {
+        bw(r, c) = gray(r, c) > cutoff ? 1 : 0;
+      }
+    }
+    RunBuffer fused;
+    fused.extract(gray, 3, 37, 5, 166, cutoff);
+    RunBuffer oracle;
+    oracle.extract(bw, 3, 37, 5, 166);
+    ASSERT_EQ(fused.size(), oracle.size()) << "cutoff " << cutoff;
+    const auto a = fused.all();
+    const auto b = oracle.all();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].row, b[i].row) << "cutoff " << cutoff;
+      EXPECT_EQ(a[i].col_begin, b[i].col_begin) << "cutoff " << cutoff;
+      EXPECT_EQ(a[i].col_end, b[i].col_end) << "cutoff " << cutoff;
+    }
+  }
 }
 
 TEST(Runs, ExtractionEdgeWidthsMatchNaive) {
@@ -231,7 +405,7 @@ TEST(Runs, EightConnRleBitIdenticalToAremspOnRandomMatrix) {
   const auto matrix = rle_matrix(Connectivity::Eight);
   for (const auto& [rows, cols] : std::vector<std::pair<Coord, Coord>>{
            {1, 1}, {1, 130}, {67, 1}, {9, 17}, {31, 130}, {64, 64}}) {
-    for (const double density : {0.05, 0.5, 0.95}) {
+    for (const double density : {0.05, 0.5, 0.8, 0.95}) {
       const BinaryImage image =
           gen::uniform_noise(rows, cols, density,
                              static_cast<std::uint64_t>(rows * 1000 + cols));
@@ -308,6 +482,59 @@ TEST(Runs, RleLabelIntoReusesScratchAllocationFree) {
   }
 }
 
+TEST(Runs, ThresholdRequestBitIdenticalToIm2bwPlusLabel) {
+  // The fused gray -> bits request path: labeling a GrayImage with
+  // LabelRequest::threshold must be bit-identical to binarizing with
+  // im2bw at the same level and labeling the result — for every rle
+  // configuration (fused) and a pixel labeler (internal binarize), both
+  // connectivities, across levels including the all-background extreme.
+  const GrayImage gray = gen::plasma(37, 133, 8);
+  for (const Connectivity connectivity :
+       {Connectivity::Eight, Connectivity::Four}) {
+    auto matrix = rle_matrix(connectivity);
+    if (connectivity == Connectivity::Eight) {
+      matrix.emplace_back("aremsp (binarize fallback)",
+                          std::make_unique<AremspLabeler>());
+    }
+    for (const double level : {0.0, 0.35, 0.5, 1.0}) {
+      const BinaryImage bw = im2bw(gray, level);
+      for (const auto& [name, labeler] : matrix) {
+        const LabelingResult want = labeler->label(bw);
+        LabelRequest request;
+        request.input = gray;
+        request.threshold = level;
+        const LabelResponse got = labeler->run(request);
+        const std::string context =
+            name + " " + to_string(connectivity) + " level " +
+            std::to_string(level);
+        EXPECT_EQ(got.num_components, want.num_components) << context;
+        EXPECT_EQ(got.labels, want.labels) << context;
+      }
+    }
+  }
+  // Out-of-range levels are rejected at validation.
+  LabelRequest bad;
+  bad.input = gray;
+  bad.threshold = 1.5;
+  EXPECT_THROW((void)AremspRleLabeler().run(bad), PreconditionError);
+}
+
+TEST(Runs, ThresholdRequestWithStatsMatchesBinarizedOracle) {
+  const GrayImage gray = gen::plasma(24, 61, 5);
+  const BinaryImage bw = im2bw(gray, 0.5);
+  const ParemspRleLabeler labeler(RleConfig{.threads = 2});
+  LabelRequest request;
+  request.input = gray;
+  request.threshold = 0.5;
+  request.outputs.stats = true;
+  const LabelResponse got = labeler.run(request);
+  const LabelingWithStats want = labeler.label_with_stats(bw);
+  EXPECT_EQ(got.labels, want.labeling.labels);
+  ASSERT_TRUE(got.stats.has_value());
+  testing::expect_stats_identical(*got.stats, want.stats,
+                                  "fused threshold stats");
+}
+
 // --- Sharded engine: ShardScan::Runs ----------------------------------------
 
 TEST(Sharded, RunScanBitIdenticalToAremspAcrossGeometries) {
@@ -372,6 +599,27 @@ TEST(Sharded, RunScanSupportsFourConnectivityViaRequestOverride) {
   LabelRequest pixel = request;
   pixel.shard = ShardOptions{.tile_rows = 13, .tile_cols = 11};
   EXPECT_THROW((void)eng.submit(pixel), PreconditionError);
+}
+
+TEST(Sharded, ThresholdRequestMatchesBinarizedOracleBothScanKernels) {
+  // Sharded fusion: ShardScan::Runs threads the cutoff into the per-tile
+  // run scan (no binary plane); ShardScan::Pixel binarizes upfront. Both
+  // must be bit-identical to im2bw + label_sharded.
+  engine::LabelingEngine eng({.workers = 2});
+  const GrayImage gray = gen::plasma(45, 77, 3);
+  const BinaryImage bw = im2bw(gray, 0.5);
+  for (const ShardScan scan : {ShardScan::Runs, ShardScan::Pixel}) {
+    const engine::ShardOptions opts{
+        .tile_rows = 13, .tile_cols = 20, .scan = scan};
+    const LabelingResult want = eng.label_sharded(bw, opts);
+    LabelRequest request;
+    request.input = gray;
+    request.threshold = 0.5;
+    request.shard = opts;
+    const LabelResponse got = eng.submit(request).get();
+    EXPECT_EQ(got.num_components, want.num_components) << to_string(scan);
+    EXPECT_EQ(got.labels, want.labels) << to_string(scan);
+  }
 }
 
 TEST(Sharded, RunScanLabelOutAndDegenerateImages) {

@@ -1,0 +1,108 @@
+// Runtime SIMD dispatch for the row-packing kernels (image/row_bits.hpp):
+// the detected tier must agree with an INDEPENDENT CPUID probe (raw
+// __get_cpuid_count, not the __builtin_cpu_supports the dispatcher uses),
+// the PAREMSP_SIMD override may only lower the tier, and requesting a
+// tier above the hardware clamps to the detected table instead of handing
+// out kernels that would fault.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "image/row_bits.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define PAREMSP_TEST_X86 1
+#endif
+
+namespace paremsp {
+namespace {
+
+#ifdef PAREMSP_TEST_X86
+
+/// Independent AVX2 probe: CPUID leaf 7 subleaf 0 EBX bit 5, gated on the
+/// OS actually saving the YMM state (OSXSAVE + XGETBV XCR0 bits 1..2) —
+/// the full check the dispatcher's __builtin_cpu_supports("avx2") does
+/// internally, reproduced from the raw instructions.
+bool cpuid_has_avx2() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  if (!osxsave) return false;
+  std::uint32_t xcr0_lo = 0, xcr0_hi = 0;
+  __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+  if ((xcr0_lo & 0x6u) != 0x6u) return false;  // XMM + YMM state enabled
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 5)) != 0;
+}
+
+/// Independent SSE2 probe: CPUID leaf 1 EDX bit 26 (architecturally
+/// guaranteed on x86-64, so this doubles as a sanity check of the probe).
+bool cpuid_has_sse2() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (edx & (1u << 26)) != 0;
+}
+
+TEST(SimdDispatch, DetectedTierMatchesRawCpuid) {
+  if (cpuid_has_avx2()) {
+    EXPECT_EQ(detected_simd_tier(), SimdTier::Avx2);
+  } else if (cpuid_has_sse2()) {
+    EXPECT_EQ(detected_simd_tier(), SimdTier::Sse2);
+  } else {
+    EXPECT_EQ(detected_simd_tier(), SimdTier::Scalar);
+  }
+}
+
+#else  // non-x86: the only tier is the portable scalar fallback.
+
+TEST(SimdDispatch, DetectedTierIsScalarOffX86) {
+  EXPECT_EQ(detected_simd_tier(), SimdTier::Scalar);
+}
+
+#endif  // PAREMSP_TEST_X86
+
+TEST(SimdDispatch, ActiveTierNeverExceedsDetected) {
+  // The PAREMSP_SIMD override (read once at startup) can only clamp
+  // DOWNWARD; whatever this process inherited, active <= detected holds.
+  EXPECT_LE(static_cast<int>(active_simd_tier()),
+            static_cast<int>(detected_simd_tier()));
+  // And when an override is set, it is honored exactly (modulo the
+  // hardware clamp) — lets CI legs pin PAREMSP_SIMD=scalar/sse2 and have
+  // this test verify the pin took effect.
+  if (const char* env = std::getenv("PAREMSP_SIMD");
+      env != nullptr && *env != '\0') {
+    const std::string want(env);
+    if (want == "scalar") {
+      EXPECT_EQ(active_simd_tier(), SimdTier::Scalar);
+    } else if (want == "sse2" &&
+               detected_simd_tier() >= SimdTier::Sse2) {
+      EXPECT_EQ(active_simd_tier(), SimdTier::Sse2);
+    }
+  }
+}
+
+TEST(SimdDispatch, RequestingAboveDetectedClampsToDetectedTable) {
+  // Asking for a tier the host lacks must return the detected tier's
+  // table (same object), never kernels that would execute unsupported
+  // instructions.
+  const PackKernels& detected = pack_kernels(detected_simd_tier());
+  EXPECT_EQ(&pack_kernels(SimdTier::Avx2) == &detected,
+            true);  // Avx2 is the top tier: always clamps to detected
+  if (detected_simd_tier() == SimdTier::Scalar) {
+    EXPECT_EQ(&pack_kernels(SimdTier::Sse2), &detected);
+  }
+  // The default table is the active tier's table.
+  EXPECT_EQ(&pack_kernels(), &pack_kernels(active_simd_tier()));
+}
+
+TEST(SimdDispatch, TierNamesRoundTrip) {
+  EXPECT_STREQ(to_string(SimdTier::Scalar), "scalar");
+  EXPECT_STREQ(to_string(SimdTier::Sse2), "sse2");
+  EXPECT_STREQ(to_string(SimdTier::Avx2), "avx2");
+}
+
+}  // namespace
+}  // namespace paremsp

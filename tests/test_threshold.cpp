@@ -2,6 +2,10 @@
 // -> im2bw at level 0.5).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "common/contracts.hpp"
 #include "image/generators.hpp"
 #include "image/threshold.hpp"
@@ -89,12 +93,72 @@ TEST(Otsu, SeparatesBimodalHistogram) {
   }
 }
 
-TEST(Otsu, UniformImageYieldsValidLevel) {
-  GrayImage img(8, 8, 77);
-  const double level = otsu_level(img);
-  EXPECT_GE(level, 0.0);
-  EXPECT_LE(level, 1.0);
+TEST(Otsu, UniformImageYieldsItsOwnLevel) {
+  // Degenerate case: a uniform image has no two-class split, so the level
+  // is the single populated bin's value — and binarizing at it maps the
+  // image to all-background (pixel > pixel is false). The historical 0.0
+  // return promoted every nonzero uniform image to all-foreground.
+  for (const std::uint8_t v : {0, 1, 77, 255}) {
+    const GrayImage img(8, 8, v);
+    const double level = otsu_level(img);
+    EXPECT_DOUBLE_EQ(level, static_cast<double>(v) / 255.0) << int{v};
+    const BinaryImage bw = im2bw(img, level);
+    for (const std::uint8_t px : bw.pixels()) {
+      ASSERT_EQ(px, 0) << "uniform value " << int{v};
+    }
+  }
   EXPECT_THROW((void)otsu_level(GrayImage()), PreconditionError);
+}
+
+TEST(Im2bw, IntegerCutoffMatchesDoubleCompareForAllPixels) {
+  // The hot loop hoists `pixel > level*255` to an integer cutoff; this
+  // sweeps every pixel value against a grid of levels (including the
+  // representable neighborhoods of k/255 boundaries) and checks the byte
+  // compare agrees with the real-valued definition everywhere.
+  GrayImage all(1, 256);
+  for (int v = 0; v < 256; ++v) all(0, v) = static_cast<std::uint8_t>(v);
+  std::vector<double> levels = {0.0, 1.0, 0.25, 0.5, 0.77};
+  for (int k = 0; k <= 255; ++k) {
+    const double exact = static_cast<double>(k) / 255.0;
+    levels.push_back(exact);
+    levels.push_back(std::nextafter(exact, 0.0));
+    levels.push_back(std::nextafter(exact, 1.0));
+  }
+  for (const double level : levels) {
+    if (level < 0.0 || level > 1.0) continue;
+    const BinaryImage bw = im2bw(all, level);
+    for (int v = 0; v < 256; ++v) {
+      const bool want = static_cast<double>(v) > level * 255.0;
+      ASSERT_EQ(bw(0, v) != 0, want) << "pixel " << v << " level " << level;
+    }
+  }
+}
+
+TEST(RgbToGray, LutPathBitIdenticalToPerPixelDoubles) {
+  // The per-channel term LUTs must reproduce the historical expression
+  // exactly. The slice sweeps all (G, B) pairs at several R values —
+  // including R=0, where G=12 B=4 is the first triple the refuted
+  // integer-LUT scheme got wrong (double-rounding: the rounded additions
+  // land exactly on 7.5 and round up; one end-rounded exact sum lands
+  // just under and rounds down).
+  for (const int r : {0, 1, 128, 255}) {
+    RgbImage img(256, 256);
+    for (int g = 0; g < 256; ++g) {
+      for (int b = 0; b < 256; ++b) {
+        img(g, b) = Rgb{static_cast<std::uint8_t>(r),
+                        static_cast<std::uint8_t>(g),
+                        static_cast<std::uint8_t>(b)};
+      }
+    }
+    const GrayImage gray = rgb_to_gray(img);
+    for (int g = 0; g < 256; ++g) {
+      for (int b = 0; b < 256; ++b) {
+        const double y = 0.299 * r + 0.587 * g + 0.114 * b;
+        ASSERT_EQ(gray(g, b), static_cast<std::uint8_t>(std::lround(y)))
+            << "r=" << r << " g=" << g << " b=" << b;
+      }
+    }
+  }
 }
 
 }  // namespace
