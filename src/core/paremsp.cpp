@@ -10,6 +10,7 @@
 #include "analysis/feature_accumulator.hpp"
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
+#include "core/equiv_policies.hpp"
 #include "core/label_scratch.hpp"
 #include "core/scan_one_line.hpp"
 #include "core/scan_two_line.hpp"
@@ -197,6 +198,8 @@ LabelingResult ParemspLabeler::label_impl(ConstImageView image,
       break;
     }
     case MergeBackend::CasRem: {
+      const uf::CasUniteFn unite =
+          cas_unite_fn(config_.cas_find, config_.cas_splice);
 #pragma omp parallel for schedule(static, 1) num_threads(nchunks)
       for (int t = 1; t < nchunks; ++t) {
         obs::Span span("paremsp.merge.boundary", "tile");
@@ -206,7 +209,7 @@ LabelingResult ParemspLabeler::label_impl(ConstImageView image,
             labels, chunks[static_cast<std::size_t>(t)].row_begin,
             [&](Label x, Label y) {
               ++pairs;
-              uf::cas_unite(p.data(), x, y, &us);
+              unite(p.data(), x, y, &us);
             });
 #pragma omp atomic
         merge_pairs += pairs;

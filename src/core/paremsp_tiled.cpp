@@ -6,6 +6,7 @@
 
 #include "common/contracts.hpp"
 #include "common/timer.hpp"
+#include "core/equiv_policies.hpp"
 #include "core/label_scratch.hpp"
 #include "core/tiled_phases.hpp"
 #include "obs/trace.hpp"
@@ -103,6 +104,8 @@ LabelingResult TiledParemspLabeler::run_impl(
       break;
     }
     case MergeBackend::CasRem: {
+      const uf::CasUniteFn unite =
+          cas_unite_fn(config_.cas_find, config_.cas_splice);
 #pragma omp parallel for schedule(dynamic, 1) num_threads(threads)
       for (int t = 0; t < ntiles; ++t) {
         obs::Span span("tiled.merge.tile", "tile");
@@ -111,7 +114,7 @@ LabelingResult TiledParemspLabeler::run_impl(
         merge_tile_seams(labels, tiles[static_cast<std::size_t>(t)],
                          [&](Label x, Label y) {
                            ++pairs;
-                           uf::cas_unite(p.data(), x, y, &us);
+                           unite(p.data(), x, y, &us);
                          });
 #pragma omp atomic
         merge_pairs += pairs;

@@ -107,26 +107,36 @@ std::unique_ptr<Labeler> make_labeler(Algorithm algorithm,
     case Algorithm::Aremsp:
       return std::make_unique<AremspLabeler>(options.connectivity);
     case Algorithm::Paremsp:
-      return std::make_unique<ParemspLabeler>(ParemspConfig{
-          options.threads, options.merge_backend, options.lock_bits});
+      return std::make_unique<ParemspLabeler>(
+          ParemspConfig{.threads = options.threads,
+                        .merge_backend = options.merge_backend,
+                        .lock_bits = options.lock_bits,
+                        .cas_find = options.cas_find,
+                        .cas_splice = options.cas_splice});
     case Algorithm::ParemspTiled:
       return std::make_unique<TiledParemspLabeler>(TiledParemspConfig{
           .threads = options.threads,
           .merge_backend = options.merge_backend,
-          .lock_bits = options.lock_bits});
+          .lock_bits = options.lock_bits,
+          .cas_find = options.cas_find,
+          .cas_splice = options.cas_splice});
     case Algorithm::AremspRle:
       return std::make_unique<AremspRleLabeler>(options.connectivity);
     case Algorithm::ParemspRle:
       return std::make_unique<ParemspRleLabeler>(
           RleConfig{.threads = options.threads,
                     .merge_backend = options.merge_backend,
-                    .lock_bits = options.lock_bits},
+                    .lock_bits = options.lock_bits,
+                    .cas_find = options.cas_find,
+                    .cas_splice = options.cas_splice},
           options.connectivity);
     case Algorithm::ParemspTiledRle:
       return std::make_unique<TiledParemspRleLabeler>(
           RleConfig{.threads = options.threads,
                     .merge_backend = options.merge_backend,
-                    .lock_bits = options.lock_bits},
+                    .lock_bits = options.lock_bits,
+                    .cas_find = options.cas_find,
+                    .cas_splice = options.cas_splice},
           options.connectivity);
   }
   throw PreconditionError("unknown algorithm id");

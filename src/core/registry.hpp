@@ -66,6 +66,9 @@ struct LabelerOptions {
   int threads = 0;                                    // PAREMSP only
   MergeBackend merge_backend = MergeBackend::LockedRem;  // PAREMSP only
   int lock_bits = 12;                                 // PAREMSP only
+  /// CAS backend find × splice policy (CasRem only; see ParemspConfig).
+  uf::CasFind cas_find = uf::CasFind::Naive;
+  uf::CasSplice cas_splice = uf::CasSplice::Atomic;
 };
 
 /// Throw the registry's uniform PreconditionError when `algorithm` does

@@ -79,6 +79,11 @@ struct ShardOptions {
   MergeBackend merge_backend = MergeBackend::LockedRem;
   /// log2 of the striped lock-pool size (LockedRem only).
   int lock_bits = uf::LockPool::kDefaultBits;
+  /// CAS backend find × splice policy (CasRem only). Every combination is
+  /// bit-identical (DESIGN.md §11); requests select per call for the
+  /// ablation bench and the throughput-tuned production default.
+  uf::CasFind cas_find = uf::CasFind::Naive;
+  uf::CasSplice cas_splice = uf::CasSplice::Atomic;
 };
 
 /// One labeling request: what to label, under which connectivity, which

@@ -25,6 +25,24 @@ class LockPool {
   /// Default 4096 stripes: large enough that two random roots collide with
   /// probability < 0.03% per pair, small enough to stay cache-resident.
   static constexpr int kDefaultBits = 12;
+  /// Largest supported pool: 2^24 locks (the ablation sweep's ceiling).
+  static constexpr int kMaxBits = 24;
+
+  /// Map an explicit stripe COUNT onto the constructor's log2 form.
+  /// Degenerate pools are precondition errors, not silent maskings: zero
+  /// stripes would leave lock_for with nothing to index, and a
+  /// non-power-of-two count would alias `& mask_` onto a fraction of the
+  /// allocated locks (the rest permanently idle). Bench sweeps and config
+  /// plumbing route stripe counts through here.
+  [[nodiscard]] static int bits_for_stripes(std::size_t stripes) {
+    PAREMSP_REQUIRE(stripes != 0, "lock pool needs at least one stripe");
+    PAREMSP_REQUIRE((stripes & (stripes - 1)) == 0,
+                    "stripe count must be a power of two");
+    int bits = 0;
+    while ((static_cast<std::size_t>(1) << bits) < stripes) ++bits;
+    PAREMSP_REQUIRE(bits <= kMaxBits, "stripe bits out of range");
+    return bits;
+  }
 
   explicit LockPool(int bits = kDefaultBits)
       : mask_((1ULL << checked_bits(bits)) - 1),
@@ -68,7 +86,8 @@ class LockPool {
   // Validated before any allocation happens (member initializers run
   // before the constructor body could check).
   static int checked_bits(int bits) {
-    PAREMSP_REQUIRE(bits >= 0 && bits <= 24, "stripe bits out of range");
+    PAREMSP_REQUIRE(bits >= 0 && bits <= kMaxBits,
+                    "stripe bits out of range");
     return bits;
   }
 

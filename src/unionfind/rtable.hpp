@@ -14,6 +14,7 @@
 // per merge, but cheap in practice because CCL merges are local (He 2008).
 #pragma once
 
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -30,8 +31,18 @@ class EquivalenceTable {
   /// Prepare for labels 1..capacity (0 stays background).
   explicit EquivalenceTable(Label capacity) { reset(capacity); }
 
+  /// Largest admissible capacity: new_label() must be able to issue
+  /// `capacity` labels and the sentinel entry 0 without Label overflow.
+  static constexpr Label kMaxCapacity =
+      std::numeric_limits<Label>::max() - 1;
+
   void reset(Label capacity) {
-    PAREMSP_REQUIRE(capacity >= 0, "capacity must be non-negative");
+    // Degenerate sizes are precondition errors, not silent clamps: a
+    // negative capacity would wrap the allocation below, and one past
+    // kMaxCapacity would let new_label overflow Label before the
+    // capacity ENSURE could fire.
+    PAREMSP_REQUIRE(capacity >= 0 && capacity <= kMaxCapacity,
+                    "capacity out of range");
     const auto n = static_cast<std::size_t>(capacity) + 1;
     rtable_.assign(n, 0);
     next_.assign(n, kNone);

@@ -1,6 +1,7 @@
 // Tests for He's rtable/next/tail equivalence table (used by RUN and ARUN).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -100,6 +101,20 @@ TEST(EquivalenceTable, CapacityOverflowTrips) {
   t.new_label();
   t.new_label();
   EXPECT_THROW(t.new_label(), InvariantError);
+}
+
+TEST(EquivalenceTable, RejectsDegenerateCapacities) {
+  // Degenerate sizes trip preconditions instead of wrapping the
+  // allocation (negative) or letting new_label overflow Label (past
+  // kMaxCapacity).
+  EXPECT_THROW(EquivalenceTable(-1), PreconditionError);
+  EquivalenceTable t(4);
+  EXPECT_THROW(t.reset(-7), PreconditionError);
+  EXPECT_THROW(t.reset(std::numeric_limits<Label>::max()),
+               PreconditionError);
+  // The failed resets left no usable state promise; a valid reset does.
+  t.reset(1);
+  EXPECT_EQ(t.new_label(), 1);
 }
 
 TEST(EquivalenceTable, RepresentativeRangeChecks) {
