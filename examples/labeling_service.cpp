@@ -22,11 +22,20 @@
 //   --sharded 1              also push one run-scan sharded request
 //                            through the pool (the four shard.* phases
 //                            show up per worker in the trace)
+//   --stream 1               also run a streaming slab session: a tall
+//                            image pushed through the pool in row-band
+//                            slabs (stream.slab spans in the trace),
+//                            verified against one-shot labeling
+//   --deadline-ms D          QoS demo: a burst of requests with a D ms
+//                            deadline (D=0 off). With a tight budget
+//                            some jobs shed — the engine_jobs_shed
+//                            counter and the per-request
+//                            DeadlineExceededError are the point.
 // The run always ends with a timings reconcile: one large request's
 // phase sums must match its end-to-end time within 5%.
 //
 //   $ ./labeling_service --producers 4 --requests 200 --workers 0 \
-//       --trace trace.json --prom metrics.prom
+//       --trace trace.json --prom metrics.prom --stream 1 --deadline-ms 50
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -41,9 +50,11 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/paremsp_all.hpp"
+#include "engine/stream_session.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "stream/slab_session.hpp"
 
 namespace {
 
@@ -83,6 +94,9 @@ int main(int argc, char** argv) {
   cli.add_option("prom", "", "write Prometheus text metrics here");
   cli.add_option("metrics-json", "", "write a JSON metrics snapshot here");
   cli.add_option("sharded", "1", "also run one sharded run-scan request");
+  cli.add_option("stream", "1", "also run one streaming slab session");
+  cli.add_option("deadline-ms", "0",
+                 "QoS demo: request deadline in ms (0 = off)");
   if (!cli.parse(argc, argv)) return 0;
 
   const int producers = cli.get_int("producers");
@@ -91,6 +105,8 @@ int main(int argc, char** argv) {
   const std::string prom_path = cli.get("prom");
   const std::string metrics_json_path = cli.get("metrics-json");
   const bool sharded_side = cli.get_int("sharded") != 0;
+  const bool stream_side = cli.get_int("stream") != 0;
+  const int deadline_ms = cli.get_int("deadline-ms");
 
   engine::EngineConfig config;
   config.workers = cli.get_int("workers");
@@ -184,6 +200,80 @@ int main(int argc, char** argv) {
     eng.recycle(std::move(response.labels));
   }
 
+  // One streaming slab session through the pool: a tall image labeled in
+  // row-band slabs carrying only seam state between them, verified
+  // against the one-shot result of the same pixels.
+  if (stream_side) {
+    const Coord rows = 2048;
+    const Coord cols = 512;
+    const BinaryImage tall = gen::landcover_like(rows, cols, 41);
+    LabelRequest reference_request;
+    reference_request.input = ConstImageView(tall);
+    const LabelResponse want =
+        make_labeler(Algorithm::AremspRle)->run(reference_request);
+
+    engine::StreamConfig stream_config;
+    stream_config.options.cols = cols;
+    auto stream = eng.open_stream(stream_config);
+    constexpr Coord kSlabRows = 64;
+    std::vector<std::future<stream::SlabResult>> slabs;
+    for (Coord r = 0; r < rows; r += kSlabRows) {
+      slabs.push_back(stream->push_slab(
+          ConstImageView(tall).subview(r, 0, std::min(kSlabRows, rows - r),
+                                       cols)));
+    }
+    std::size_t carried = 0;
+    for (auto& f : slabs) {
+      stream::SlabResult slab = f.get();
+      carried += slab.open_components;
+      stream->recycle(std::move(slab.labels));
+    }
+    const stream::StreamResult done = stream->finish().get();
+    const bool stream_ok = done.num_components == want.num_components;
+    std::cout << "streaming session: " << done.slabs << " slabs, "
+              << done.num_components << " components (one-shot "
+              << want.num_components << "), mean "
+              << TextTable::num(
+                     static_cast<double>(carried) /
+                         static_cast<double>(done.slabs ? done.slabs : 1),
+                     1)
+              << " open components carried per seam: "
+              << (stream_ok ? "OK" : "MISMATCH") << "\n";
+    if (!stream_ok) {
+      std::cerr << "streaming result differs from one-shot labeling\n";
+      return 1;
+    }
+  }
+
+  // QoS demo: the same burst with a deadline attached. With a generous
+  // budget everything completes; with a tight one the queue tail sheds
+  // before any pixel work is wasted on it.
+  if (deadline_ms > 0) {
+    const BinaryImage qos_image = gen::landcover_like(512, 512, 13);
+    constexpr int kQosBurst = 32;
+    std::vector<std::future<LabelResponse>> qos;
+    qos.reserve(kQosBurst);
+    for (int i = 0; i < kQosBurst; ++i) {
+      LabelRequest request;
+      request.input = ConstImageView(qos_image);
+      request.deadline = std::chrono::milliseconds(deadline_ms);
+      qos.push_back(eng.submit(std::move(request)));
+    }
+    int served = 0;
+    int shed = 0;
+    for (auto& f : qos) {
+      try {
+        LabelResponse response = f.get();
+        ++served;
+        eng.recycle(std::move(response.labels));
+      } catch (const DeadlineExceededError&) {
+        ++shed;
+      }
+    }
+    std::cout << "deadline " << deadline_ms << " ms: " << served
+              << " served, " << shed << " shed of " << kQosBurst << "\n";
+  }
+
   // Reconcile: an instrumented request's four phase timers must cover its
   // end-to-end wall time within 5% — the per-phase numbers are only worth
   // exporting if they actually add up. Large image so the phases dwarf
@@ -265,6 +355,9 @@ int main(int argc, char** argv) {
   table.add_row({"arena bytes", std::to_string(s.scratch_reserved_bytes)});
   table.add_row({"arena grows", std::to_string(s.scratch_grow_count)});
   table.add_row({"plane reuses", std::to_string(s.plane_reuses)});
+  table.add_row({"jobs shed (deadline)", std::to_string(s.jobs_shed)});
+  table.add_row({"jobs cancelled", std::to_string(s.jobs_cancelled)});
+  table.add_row({"stream slabs", std::to_string(s.stream_slabs_completed)});
   std::cout << table.to_string();
 
   if (wrong_counts.load() > 0) {

@@ -1,0 +1,103 @@
+// Request quality-of-service primitives: deadlines and cancellation.
+//
+// A service front end facing heavy traffic needs two escape hatches the
+// plain request API lacks: shedding work that can no longer meet its
+// latency budget (the deadline), and abandoning work whose client went
+// away (cancellation). Both are REQUEST fields (core/request.hpp), so one
+// QoS vocabulary covers every executor — the engine's one-shot worker
+// path, the sharded huge-image pipeline, and the streaming slab sessions
+// all honor them at their natural check points:
+//
+//   one-shot    checked when a worker picks the job up — an expired or
+//               cancelled job is shed before any pixel is read;
+//   sharded     checked at every phase boundary (scan -> merge -> resolve
+//               -> rewrite), the same spots that already poll the
+//               first-error flag;
+//   streaming   checked before every slab job of a SlabSession chain, so
+//               a session past its budget fails every remaining future.
+//
+// Shedding is an ERROR delivery, never a silent drop: the future throws
+// DeadlineExceededError / CancelledError and the engine increments its
+// jobs_shed / jobs_cancelled counters (EngineStatsSnapshot, exported as
+// engine_jobs_shed / engine_jobs_cancelled gauges) — the numbers a
+// load-shedding policy alerts on.
+//
+// Deadlines are RELATIVE budgets (duration from submission), not absolute
+// time points: the request is validated against "must be > 0" like every
+// other field, and the executor anchors it at its own submission stamp.
+// Direct Labeler::run (synchronous, no queue) validates the field and
+// honors cancellation at entry; the budget itself is an engine concern.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+
+namespace paremsp {
+
+/// Thrown (through the request's future) when a job's deadline expired
+/// before the work could run to completion. Derives from runtime_error —
+/// unlike PreconditionError this is not a caller bug, it is load.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown (through the request's future) when the request's cancel token
+/// fired before the work could run to completion.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Read side of a cancellation flag. Default-constructed tokens are inert
+/// (never cancelled, cost one null check); tokens obtained from a
+/// CancelSource share its flag. Copyable, thread-safe: any number of
+/// executors may poll while the owner cancels.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True once the owning CancelSource requested cancellation.
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return state_ != nullptr && state_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> state) noexcept
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const std::atomic<bool>> state_;
+};
+
+/// Owner side of a cancellation flag. Create one per client request (or
+/// per client connection), hand its token() to any number of
+/// LabelRequests, call request_cancel() when the client goes away.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Flip the flag; every token observes it on its next poll. Idempotent.
+  void request_cancel() noexcept {
+    state_->store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return state_->load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] CancelToken token() const noexcept {
+    return CancelToken(state_);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Deadline budget type used by LabelRequest::deadline: a duration from
+/// the moment the executor accepts the work.
+using Deadline = std::chrono::nanoseconds;
+
+}  // namespace paremsp

@@ -25,6 +25,10 @@ Connectivity validate_request(const LabelRequest& request,
                         request.label_out->cols() == request.input.cols(),
                     "label_out dimensions must match the request input");
   }
+  if (request.deadline.has_value()) {
+    PAREMSP_REQUIRE(request.deadline->count() > 0,
+                    "deadline budget must be a positive duration");
+  }
   return connectivity;
 }
 
@@ -49,6 +53,12 @@ LabelResponse Labeler::run(const LabelRequest& request,
                            LabelScratch& scratch) const {
   const Connectivity connectivity =
       validate_request(request, algorithm(), default_connectivity());
+  // Synchronous execution still honors cancellation at entry (the one
+  // check point a blocking call has); the deadline budget is an engine
+  // concern — there is no queue for a direct run to sit in.
+  if (request.cancel.cancel_requested()) {
+    throw CancelledError("request cancelled before labeling started");
+  }
 
   analysis::ComponentStats stats;
   analysis::ComponentStats* stats_out =

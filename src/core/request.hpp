@@ -30,6 +30,7 @@
 #include "analysis/component_stats.hpp"
 #include "core/labeling.hpp"
 #include "core/paremsp.hpp"  // MergeBackend
+#include "core/qos.hpp"
 #include "image/connectivity.hpp"
 #include "image/view.hpp"
 #include "unionfind/lock_pool.hpp"
@@ -128,6 +129,21 @@ struct LabelRequest {
   /// Labeler::run — sharding never changes the result, only where the
   /// work runs, so a request means the same thing on either executor.
   std::optional<ShardOptions> shard;
+
+  /// QoS: latency budget from the moment the executor accepts the work.
+  /// The engine sheds an expired job at its next check point (worker
+  /// pickup for one-shot jobs, phase boundaries for sharded runs) — the
+  /// future throws DeadlineExceededError and jobs_shed increments.
+  /// Validated > 0 (a non-positive budget is a caller bug, not load).
+  /// Direct Labeler::run validates but does not enforce it: a synchronous
+  /// call has no queue to sit in (see core/qos.hpp).
+  std::optional<Deadline> deadline;
+
+  /// QoS: cancellation flag, polled at the same check points as the
+  /// deadline. Default-constructed = never cancelled. A cancelled job's
+  /// future throws CancelledError and jobs_cancelled increments; direct
+  /// Labeler::run honors it at entry.
+  CancelToken cancel;
 };
 
 struct LabelResponse;

@@ -258,6 +258,31 @@ void LabelingEngine::return_shard_cells(ShardCellBuffer buffer) {
   }
 }
 
+std::vector<RunBuffer> LabelingEngine::take_run_buffers(std::size_t n) {
+  std::vector<RunBuffer> buffers;
+  {
+    std::lock_guard lock(shard_buffers_mutex_);
+    if (!run_buffer_pool_.empty()) {
+      buffers = std::move(run_buffer_pool_.back());
+      run_buffer_pool_.pop_back();
+    }
+  }
+  // Growing the vector keeps the already-pooled buffers' internal
+  // storage; only genuinely new tiles allocate.
+  if (buffers.size() < n) buffers.resize(n);
+  return buffers;
+}
+
+void LabelingEngine::return_run_buffers(std::vector<RunBuffer> buffers) {
+  if (buffers.empty()) return;
+  std::lock_guard lock(shard_buffers_mutex_);
+  // One vector per concurrent Runs-mode shard in steady state; parking
+  // more would hoard run storage proportional to image content.
+  if (run_buffer_pool_.size() < 2) {
+    run_buffer_pool_.push_back(std::move(buffers));
+  }
+}
+
 void LabelingEngine::recycle(LabelImage&& plane) {
   std::lock_guard lock(recycled_mutex_);
   // Parking more planes than the pool can adopt soon just hoards memory.
@@ -288,6 +313,16 @@ EngineStatsSnapshot LabelingEngine::stats() const {
   s.shards_completed = shards_completed_.load(std::memory_order_relaxed);
   s.shard_tasks_completed =
       shard_tasks_completed_.load(std::memory_order_relaxed);
+  s.jobs_shed = jobs_shed_.load(std::memory_order_relaxed);
+  s.jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
+  s.stream_sessions_opened =
+      stream_sessions_opened_.load(std::memory_order_relaxed);
+  s.stream_sessions_completed =
+      stream_sessions_completed_.load(std::memory_order_relaxed);
+  s.stream_slabs_completed =
+      stream_slabs_completed_.load(std::memory_order_relaxed);
+  s.stream_carried_components =
+      stream_carried_components_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -318,6 +353,17 @@ void LabelingEngine::publish_metrics() const {
       .set(static_cast<double>(s.shards_completed));
   obs::gauge("engine_shard_tasks_completed")
       .set(static_cast<double>(s.shard_tasks_completed));
+  obs::gauge("engine_jobs_shed").set(static_cast<double>(s.jobs_shed));
+  obs::gauge("engine_jobs_cancelled")
+      .set(static_cast<double>(s.jobs_cancelled));
+  obs::gauge("engine_stream_sessions_opened")
+      .set(static_cast<double>(s.stream_sessions_opened));
+  obs::gauge("engine_stream_sessions_completed")
+      .set(static_cast<double>(s.stream_sessions_completed));
+  obs::gauge("engine_stream_slabs_completed")
+      .set(static_cast<double>(s.stream_slabs_completed));
+  obs::gauge("engine_stream_carried_components")
+      .set(static_cast<double>(s.stream_carried_components));
 }
 
 void LabelingEngine::maybe_adopt_recycled(ScratchArena& arena) {
@@ -375,7 +421,20 @@ void LabelingEngine::worker_main(ScratchArena& arena, int index) {
     const std::int64_t pixels = job->request.input.size();
     LabelResponse response;
     std::exception_ptr error;
-    {
+    // QoS check point: shed the job at pickup — before any pixel is read
+    // — if its client cancelled or its latency budget is already gone
+    // (the budget covers queue wait plus execution, so a job that sat
+    // out its deadline in the queue must not occupy a worker).
+    if (job->request.cancel.cancel_requested()) {
+      error = std::make_exception_ptr(
+          CancelledError("request cancelled while queued"));
+      jobs_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    } else if (job->request.deadline.has_value() &&
+               picked_up - job->submitted_at >= *job->request.deadline) {
+      error = std::make_exception_ptr(DeadlineExceededError(
+          "deadline expired before a worker picked the job up"));
+      jobs_shed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
       obs::Span span("job.execute", "engine");
       try {
         response = labeler->run(job->request, arena.scratch());

@@ -43,12 +43,16 @@
 #include "core/labeling.hpp"
 #include "core/registry.hpp"
 #include "core/request.hpp"
+#include "core/runs.hpp"
 #include "engine/engine_stats.hpp"
 #include "engine/job_queue.hpp"
 #include "engine/scratch_arena.hpp"
 #include "engine/sharded_labeler.hpp"
 
 namespace paremsp::engine {
+
+class StreamSession;
+struct StreamConfig;
 
 /// Engine construction knobs.
 struct EngineConfig {
@@ -152,6 +156,18 @@ class LabelingEngine {
   [[nodiscard]] LabelingWithStats label_sharded_with_stats(
       const BinaryImage& image, const ShardOptions& options = {});
 
+  /// Open a streaming slab session (engine/stream_session.hpp): label an
+  /// arbitrarily tall image one row-band slab at a time through the
+  /// worker pool, carrying only seam state between slabs. Slab jobs are
+  /// serialized per session (slab k+1 needs k's seam) but pipeline
+  /// against everything else the engine runs; push_slab applies a
+  /// bounded in-flight window (backpressure) and the session honors the
+  /// config's deadline/cancellation at every slab boundary. The session
+  /// outlives the engine reference it holds only until shutdown():
+  /// shutting down mid-session fails the remaining futures cleanly.
+  [[nodiscard]] std::shared_ptr<StreamSession> open_stream(
+      StreamConfig config);
+
   /// Hand a result's label plane back for reuse. Optional: skipping it
   /// only costs the workers one plane allocation per request.
   void recycle(LabelImage&& plane);
@@ -177,7 +193,8 @@ class LabelingEngine {
   }
 
  private:
-  friend class ShardedRun;  // sharded_labeler.cpp: pushes phase jobs
+  friend class ShardedRun;      // sharded_labeler.cpp: pushes phase jobs
+  friend class StreamSession;   // stream_session.cpp: slab job chains
 
   /// How a finished request leaves the engine: exactly one invocation per
   /// accepted job, with either the error or the response. The legacy
@@ -254,6 +271,15 @@ class LabelingEngine {
   };
   [[nodiscard]] ShardCellBuffer take_shard_cells(std::size_t n);
   void return_shard_cells(ShardCellBuffer buffer);
+
+  /// Pooled per-tile RunBuffer vectors for Runs-mode sharded runs (and
+  /// anything else that needs a batch of them). A returned vector keeps
+  /// every buffer's grown row-offset/run storage, so steady-state Runs
+  /// shards allocate nothing. The vector may come back LARGER than n —
+  /// callers must treat only their first n entries as theirs.
+  [[nodiscard]] std::vector<RunBuffer> take_run_buffers(std::size_t n);
+  void return_run_buffers(std::vector<RunBuffer> buffers);
+
   void worker_main(ScratchArena& arena, int index);
   void maybe_adopt_recycled(ScratchArena& arena);
 
@@ -267,6 +293,18 @@ class LabelingEngine {
   std::atomic<std::uint64_t> shards_completed_{0};
   std::atomic<std::uint64_t> shard_tasks_completed_{0};
 
+  // QoS accounting: deliveries of DeadlineExceededError / CancelledError
+  // across every executor path (one-shot pickup, sharded phase
+  // boundaries, stream slab boundaries).
+  std::atomic<std::uint64_t> jobs_shed_{0};
+  std::atomic<std::uint64_t> jobs_cancelled_{0};
+
+  // Streaming-session accounting (see EngineStatsSnapshot).
+  std::atomic<std::uint64_t> stream_sessions_opened_{0};
+  std::atomic<std::uint64_t> stream_sessions_completed_{0};
+  std::atomic<std::uint64_t> stream_slabs_completed_{0};
+  std::atomic<std::uint64_t> stream_carried_components_{0};
+
   // Client-returned planes waiting for a worker to adopt them. A plain
   // mutexed stack: recycling is an optimization, contention on it is not
   // on the labeling path.
@@ -277,6 +315,7 @@ class LabelingEngine {
   std::mutex shard_buffers_mutex_;
   std::vector<ShardBuffer> shard_buffers_;
   std::vector<ShardCellBuffer> shard_cell_buffers_;
+  std::vector<std::vector<RunBuffer>> run_buffer_pool_;
 
   std::vector<std::unique_ptr<ScratchArena>> arenas_;
   std::vector<std::thread> threads_;

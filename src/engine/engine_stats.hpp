@@ -70,6 +70,21 @@ struct EngineStatsSnapshot {
   std::uint64_t shards_submitted = 0;      // submit_sharded calls accepted
   std::uint64_t shards_completed = 0;      // shard promises fulfilled OK
   std::uint64_t shard_tasks_completed = 0; // tile/seam/rewrite jobs run
+
+  // --- QoS (deadline / cancellation, core/qos.hpp) --------------------------
+  // Both count toward jobs_failed too: a shed job IS a failed completion
+  // (its future throws); these break the failure down by cause.
+  std::uint64_t jobs_shed = 0;       // DeadlineExceededError deliveries
+  std::uint64_t jobs_cancelled = 0;  // CancelledError deliveries
+
+  // --- streaming slab sessions (engine/stream_session.hpp) -----------------
+  std::uint64_t stream_sessions_opened = 0;
+  std::uint64_t stream_sessions_completed = 0;  // finish() resolved OK
+  std::uint64_t stream_slabs_completed = 0;
+  // Cumulative open components observed at slab seams — the size of the
+  // identity state streaming carries; divide by stream_slabs_completed
+  // for the mean seam population.
+  std::uint64_t stream_carried_components = 0;
 };
 
 /// Thread-safe recorder behind the snapshot.

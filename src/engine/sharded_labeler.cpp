@@ -15,8 +15,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -55,6 +57,11 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
       // Exact integer form of im2bw's compare (see LabelRequest).
       cutoff_ = static_cast<int>(*request_.threshold * 255.0);
     }
+    if (request_.deadline.has_value()) {
+      deadline_ms_ =
+          std::chrono::duration<double, std::milli>(*request_.deadline)
+              .count();
+    }
   }
 
   /// Fan out the Phase-I scan jobs (bounded pushes: this runs on the
@@ -72,7 +79,10 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     return options_.scan == ShardScan::Runs;
   }
   [[nodiscard]] std::span<const RunBuffer> runs() const noexcept {
-    return {tile_runs_.data(), tile_runs_.size()};
+    // Runs mode only. Only the first tiles_.size() entries are this
+    // run's: the pooled vector may be larger (a previous shard had more
+    // tiles), and the excess buffers hold that shard's stale runs.
+    return {tile_runs_.data(), std::min(tiles_.size(), tile_runs_.size())};
   }
 
   void launch() {
@@ -102,11 +112,10 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     tiles_ = make_tile_grid(image().rows(), image().cols(),
                             options_.tile_rows, options_.tile_cols);
     if (scans_runs()) {
-      // Per-tile run storage for the run-based pipeline. Freshly built
-      // per shard (unlike the pooled parent/remap buffers): the buffers
-      // grow to each tile's run count, which varies with the image, and
-      // a shard's tile count is small next to its pixel count.
-      tile_runs_ = std::vector<RunBuffer>(tiles_.size());
+      // Per-tile run storage, pooled at the engine like the parent and
+      // cell buffers: each RunBuffer keeps its grown run/offset storage
+      // between shards, so steady-state Runs shards allocate nothing.
+      tile_runs_ = engine_.take_run_buffers(tiles_.size());
       grid_ = tile_grid_shape(tiles_);
     }
     // Disjoint per-job counter slots (one per tile): scan jobs write
@@ -117,6 +126,14 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     merge_pair_slots_.assign(tiles_.size(), 0);
     merge_stat_slots_.assign(tiles_.size(), {});
     scan_queue_timer_.reset();
+
+    // QoS check point before any pixel is read: a request whose token
+    // already fired (or whose budget is non-existent) sheds here.
+    check_qos();
+    if (failed_.load(std::memory_order_acquire)) {
+      deliver();
+      return;
+    }
 
     // Initial fan-out takes the bounded, backpressured queue path — this
     // runs on the submitting thread, where blocking is the contract.
@@ -171,6 +188,7 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   // --- Phase II: seam merges ------------------------------------------------
   void start_merge() {
     result_.timings.scan_ms = timer_.elapsed_ms();
+    check_qos();  // phase boundary: shed before fanning out the merges
     if (failed_.load(std::memory_order_acquire)) {
       // Nothing else is in flight (the scan latch just drained): report.
       deliver();
@@ -264,6 +282,7 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   // --- Phase III: FLATTEN + canonical renumber (single worker) --------------
   void resolve() {
     result_.timings.merge_ms = timer_.elapsed_ms() - result_.timings.scan_ms;
+    check_qos();  // phase boundary: shed before flatten + rewrite
     if (!failed_.load(std::memory_order_acquire)) {
       try {
         obs::Span span("shard.flatten", "shard");
@@ -284,8 +303,10 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
             counters.merge_unions += us.joins;
             counters.merge_retries += us.retries;
           }
-          for (const RunBuffer& runs : tile_runs_) {
-            counters.runs_extracted += runs.size();
+          if (scans_runs()) {
+            for (const RunBuffer& tile : runs()) {  // this run's tiles only
+              counters.runs_extracted += tile.size();
+            }
           }
         }
         const std::size_t remap_size =
@@ -409,6 +430,7 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
     engine_.return_shard_buffer(std::move(parents_));
     engine_.return_shard_buffer(std::move(remap_));
     engine_.return_shard_cells(std::move(cells_));
+    engine_.return_run_buffers(std::move(tile_runs_));
     if (failed_.load(std::memory_order_acquire)) {
       deliver_(error_, LabelResponse{});
       return;
@@ -513,6 +535,38 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
         PreconditionError("LabelingEngine shut down mid-shard")));
   }
 
+  /// QoS gate, called at phase boundaries (launch / start_merge / resolve).
+  /// Checking only between phases keeps the per-tile hot loops free of
+  /// atomic loads; a shed shard still drains its latches and reaches
+  /// deliver() like any other failure, so quiescence guarantees hold.
+  void check_qos() {
+    if (failed_.load(std::memory_order_acquire)) return;
+    if (request_.cancel.cancel_requested()) {
+      fail_qos(/*cancelled=*/true);
+      return;
+    }
+    if (deadline_ms_.has_value() && timer_.elapsed_ms() >= *deadline_ms_) {
+      fail_qos(/*cancelled=*/false);
+    }
+  }
+
+  /// Claim the error slot with the QoS cause and bump the matching engine
+  /// counter — but only for the claiming winner, so one shed shard counts
+  /// once no matter how many phase boundaries re-observe the expiry.
+  void fail_qos(bool cancelled) noexcept {
+    if (error_claimed_.exchange(true, std::memory_order_relaxed)) return;
+    if (cancelled) {
+      engine_.jobs_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      error_ = std::make_exception_ptr(
+          CancelledError("request cancelled mid-shard"));
+    } else {
+      engine_.jobs_shed_.fetch_add(1, std::memory_order_relaxed);
+      error_ = std::make_exception_ptr(DeadlineExceededError(
+          "deadline expired mid-shard; remaining phases shed"));
+    }
+    failed_.store(true, std::memory_order_release);
+  }
+
   LabelingEngine& engine_;
   const LabelRequest request_;  // borrowed views; shard engaged
   const ShardOptions options_;
@@ -521,6 +575,7 @@ class ShardedRun : public std::enable_shared_from_this<ShardedRun> {
   LabelingEngine::Deliver deliver_;
   std::unique_ptr<uf::LockPool> locks_;
   int cutoff_ = -1;      // request threshold as an integer cutoff; -1 unset
+  std::optional<double> deadline_ms_;  // request deadline vs timer_, if any
   BinaryImage binary_;   // pixel-mode upfront binarization (threshold only)
 
   LabelingResult result_;

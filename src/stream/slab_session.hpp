@@ -1,0 +1,273 @@
+// Streaming slab labeling: label an arbitrarily tall image one row-band
+// SLAB at a time, carrying only seam state between slabs.
+//
+// The sharded tile pipeline (engine/sharded_labeler.hpp) already proves
+// the key property this subsystem rests on: tiles communicate component
+// identity through nothing but their boundary runs. A horizontal cut
+// through the image is exactly one such boundary — so a session that
+// remembers (a) the runs of the last row pushed, (b) which GLOBAL
+// component each of those runs currently belongs to, and (c) a running
+// FeatureCell per still-open component, can label slab k+1 without any
+// pixel of slabs 0..k being resident. That is the entire cross-slab
+// state; everything else (parents, run buffers, planes) is per-slab
+// scratch reused across pushes.
+//
+//   SlabSession session(options);           // options.cols fixes the width
+//   while (more rows) {
+//     SlabResult r = session.push_slab(view);   // any height >= 1
+//     // r.labels holds LOCAL dense ids 1..r.local_components
+//     session.recycle(std::move(r.labels));     // optional: keep pool warm
+//   }
+//   StreamResult done = session.finish();
+//   // done.slab_remaps[k][local id] = final global label for slab k
+//
+// Consistency contract (proved by tests/test_stream.cpp differentially
+// against one-shot AremspRle over slab-height sweeps including 1-row
+// slabs, both connectivities, both scan modes): the final component
+// COUNT, the per-component stats (bit-identical FeatureCell sums), and
+// the composed labeling remap[k][slab k's plane] all equal one-shot
+// labeling of the vertically concatenated image. Final label order is
+// the same canonical order the one-shot labelers use — first appearance
+// in the sequential visit order of the whole image (two-line row-pair
+// order for 8-connectivity, raster order for 4) — recovered from a
+// 64-bit first-appearance key folded per component as slabs stream by,
+// so the numbering does not depend on where the cuts fall.
+//
+// How a slab is processed (single-threaded; the ENGINE provides
+// cross-slab pipelining, see engine/stream_session.hpp):
+//
+//   1. scan the slab with the existing run kernels into a fresh
+//      parent forest of `used` provisional labels (local rows);
+//   2. embed the m carried seam runs as reserved parent slots
+//      used+1..used+m and seam-merge them against the slab's first row
+//      (unite_overlapping_runs — the same one-union-per-overlapping-pair
+//      sweep the tile seams use). REM keeps every class rooted at its
+//      minimum, and the minimum of any class touching a carried slot is
+//      a LOCAL label, so carried slots never become roots of live
+//      classes;
+//   3. one increasing-order flatten pass assigns dense local ids
+//      1..local_components; a carried slot still self-parented after the
+//      merge is a component that just CLOSED (row adjacency means it can
+//      never reappear) and resolves to a sentinel;
+//   4. fold the slab into the session-global tracking forest: each dense
+//      id maps to a track (new, or united with the tracks its carried
+//      runs brought in), and per-track min first-appearance key and
+//      FeatureCell absorb the slab's contribution;
+//   5. the slab's bottom-row runs plus their track ids become the next
+//      carried seam; a per-slab table dense id -> track id is appended
+//      (the "condensed parent remap" — O(components), not O(pixels)).
+//
+// finish() flattens the tracking forest, ranks live tracks by their
+// global first-appearance key to assign final labels 1..K, resolves the
+// per-slab tables to final labels, and finalizes stats.
+//
+// Memory: steady-state pushes allocate nothing (LabelScratch pools the
+// parent/cell/run/plane storage; the track arrays grow by components,
+// not pixels). seam_state_bytes() + slab_working_bytes() is the resident
+// footprint a bench can hold against one-shot peak (bench/
+// throughput_stream.cpp asserts the inequality and reports both).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/component_stats.hpp"
+#include "analysis/feature_accumulator.hpp"
+#include "core/label_scratch.hpp"
+#include "core/request.hpp"  // ShardScan
+#include "core/runs.hpp"
+#include "image/connectivity.hpp"
+#include "image/raster.hpp"
+#include "image/view.hpp"
+
+namespace paremsp::stream {
+
+/// Session-wide configuration, fixed at construction (a stream's slabs
+/// must agree on width, connectivity, threshold and outputs — per-slab
+/// overrides would make "the concatenated image" ill-defined).
+struct StreamOptions {
+  /// Width every pushed slab must match. Required >= 1.
+  Coord cols = 0;
+
+  Connectivity connectivity = Connectivity::Eight;
+
+  /// Per-slab scan kernel, same vocabulary as sharded execution:
+  /// Runs scans bit-packed runs directly (both connectivities, fused
+  /// threshold); Pixel runs the AREMSP two-line pixel scan
+  /// (8-connectivity only) and derives the seam runs from the slab
+  /// afterwards.
+  ShardScan scan = ShardScan::Runs;
+
+  /// Grayscale fusion, same contract as LabelRequest::threshold: slabs
+  /// are grayscale and foreground is pixel > floor(threshold * 255).
+  /// Must be within [0, 1].
+  std::optional<double> threshold;
+
+  /// Return each slab's label plane from push_slab (local dense ids).
+  /// Off = counting/measuring stream: no plane is materialized in Runs
+  /// mode at all.
+  bool labels = true;
+
+  /// Accumulate fused per-component features across the stream;
+  /// finish() then carries ComponentStats bit-identical to one-shot
+  /// fused labeling of the concatenated image.
+  bool stats = false;
+};
+
+/// Outcome of one push_slab call.
+struct SlabResult {
+  /// Global row index of the slab's first row (rows pushed before it).
+  Coord row_begin = 0;
+  /// Rows in this slab.
+  Coord rows = 0;
+  /// Position of the slab in the stream (0-based push order).
+  std::size_t slab_index = 0;
+
+  /// Components touching this slab, numbered 1..local_components in
+  /// slab scan first-appearance order. LOCAL ids: the same global
+  /// component reappearing in a later slab gets an unrelated local id
+  /// there; finish()'s per-slab tables reconcile them.
+  Label local_components = 0;
+
+  /// The slab's label plane with local dense ids (engaged storage iff
+  /// StreamOptions::labels). Hand it back via recycle() when done.
+  LabelImage labels;
+
+  /// Foreground runs extracted from the slab.
+  std::uint64_t runs = 0;
+  /// Seam runs carried INTO this slab from the previous one.
+  std::uint64_t carried_in = 0;
+  /// Seam runs this slab hands to the next one (its bottom-row runs).
+  std::uint64_t seam_runs_out = 0;
+  /// Distinct still-open components those seam runs belong to. Strictly
+  /// fewer than seam_runs_out when one component owns several bottom
+  /// runs — and distinct LOCAL ids can already be one GLOBAL component
+  /// through a union in an earlier slab, which is why this counts track
+  /// roots, not local ids.
+  Label open_components = 0;
+};
+
+/// Outcome of finish(): the global resolution of every slab.
+struct StreamResult {
+  /// Global components across the whole stream; final labels are 1..K
+  /// in the one-shot canonical order of the concatenated image.
+  Label num_components = 0;
+  /// Total rows consumed.
+  Coord rows = 0;
+  /// Slabs pushed.
+  std::size_t slabs = 0;
+
+  /// Per-slab resolution tables: slab_remaps[k][local dense id] = final
+  /// global label (entry 0 = 0 for background). Composing table k over
+  /// slab k's plane yields exactly the one-shot labeling restricted to
+  /// those rows.
+  std::vector<std::vector<Label>> slab_remaps;
+
+  /// Fused per-component features, ordered by final label; engaged iff
+  /// StreamOptions::stats.
+  std::optional<analysis::ComponentStats> stats;
+};
+
+/// One streaming labeling session. Single-threaded: push_slab/finish
+/// must be externally serialized (the engine's StreamSession does this
+/// while pipelining slabs of DIFFERENT sessions across workers).
+class SlabSession {
+ public:
+  /// Validates options (cols >= 1, threshold within [0, 1], Pixel scan
+  /// requires 8-connectivity) — throws PreconditionError otherwise.
+  explicit SlabSession(StreamOptions options);
+
+  SlabSession(const SlabSession&) = delete;
+  SlabSession& operator=(const SlabSession&) = delete;
+
+  /// Label the next `slab.rows()` rows of the stream. The view must
+  /// match options().cols and have >= 1 row; throws PreconditionError
+  /// on mismatch or when the session is already finished.
+  SlabResult push_slab(ConstImageView slab);
+
+  /// Resolve the stream: assign final global labels, produce the
+  /// per-slab remap tables and (optionally) fused stats, and release
+  /// the seam state. Exactly-once: a second call (or a later
+  /// push_slab) throws PreconditionError.
+  StreamResult finish();
+
+  /// Return a slab plane for reuse by the next push_slab.
+  void recycle(LabelImage&& plane) { scratch_.recycle_plane(std::move(plane)); }
+
+  [[nodiscard]] const StreamOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] Coord rows_consumed() const noexcept { return global_row_; }
+  [[nodiscard]] std::size_t slabs_pushed() const noexcept {
+    return slab_index_;
+  }
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// Bytes of CROSS-SLAB state currently held: the carried seam runs,
+  /// the tracking forest (parent + first-appearance key per track, plus
+  /// a FeatureCell per track when stats are on), and the per-slab
+  /// remap tables. This — not the image — is what grows with stream
+  /// height, and it grows with COMPONENTS, not pixels.
+  [[nodiscard]] std::size_t seam_state_bytes() const noexcept;
+
+  /// High-water bytes of per-slab scratch (parents, cells, run buffer,
+  /// planes) across pushes so far. seam_state_bytes() + this is the
+  /// session's resident footprint.
+  [[nodiscard]] std::size_t slab_working_bytes() const noexcept {
+    return slab_working_high_water_;
+  }
+
+ private:
+  /// 64-bit first-appearance rank of a run at global row `global_r`:
+  /// lexicographic (visit step, column, row-within-pair) under the
+  /// canonical visit order — two-line row pairs for window 1, raster
+  /// for window 0. The minimum over a component's runs is the
+  /// component's first appearance in the one-shot sequential scan.
+  [[nodiscard]] std::int64_t first_appearance_key(std::int64_t global_r,
+                                                  Coord col_begin) const
+      noexcept;
+
+  [[nodiscard]] Label track_find(Label t) const noexcept;
+  /// Allocate a fresh track id (parent = self, key = +inf, empty cell).
+  [[nodiscard]] Label track_new();
+
+  /// Scan one slab in the selected mode; returns provisional labels
+  /// issued. Pixel mode labels into *plane; Runs mode ignores it.
+  Label scan_slab(ConstImageView slab, std::span<Label> parents,
+                  std::span<analysis::FeatureCell> cells, RunBuffer& runs,
+                  LabelImage* plane);
+
+  StreamOptions options_;
+  Coord window_ = 1;   // run_overlap_window(connectivity)
+  int cutoff_ = -1;    // integer threshold cutoff; -1 = binary input
+  bool finished_ = false;
+  Coord global_row_ = 0;      // rows consumed so far
+  std::size_t slab_index_ = 0;
+
+  LabelScratch scratch_;       // per-slab parents/cells/runs/planes (pooled)
+  BinaryImage pixel_binary_;   // Pixel-mode upfront binarization scratch
+
+  // ---- Seam state carried between slabs --------------------------------
+  std::vector<Run> carried_runs_;      // bottom-row runs of the last slab
+  std::vector<Label> carried_tracks_;  // track id per carried run
+  // Tracking union-find over session-global components, 1-based,
+  // append-only. Unites link the larger root under the smaller, so
+  // parents always point downward and finish() flattens in one
+  // increasing pass — the same invariant REM gives the per-slab forest.
+  std::vector<Label> track_parent_;
+  std::vector<std::int64_t> track_min_key_;         // at roots
+  std::vector<analysis::FeatureCell> track_cells_;  // at roots (stats only)
+  // Per-slab condensed remap: dense local id -> track id ([0] = 0).
+  std::vector<std::vector<Label>> slab_tracks_;
+
+  // ---- Per-slab scratch (members only to stay allocation-free) ---------
+  std::vector<std::int64_t> local_min_key_;
+  std::vector<Label> dense_track_;
+  std::vector<Label> dense_root_;
+  std::vector<Label> open_scratch_;
+
+  std::size_t slab_working_high_water_ = 0;
+};
+
+}  // namespace paremsp::stream

@@ -1,0 +1,364 @@
+// Streaming slab sessions: differential equivalence against one-shot
+// labeling of the concatenated image. The contract under test
+// (stream/slab_session.hpp): for ANY way of cutting an image into
+// horizontal slabs — uniform heights, random ragged partitions, 1-row
+// slabs, the whole image as one slab — the session's component count,
+// fused stats (bit-identical), and per-slab planes composed through the
+// finish() remap tables equal the one-shot result exactly, for both
+// connectivities and both scan modes. Randomized cases replay via
+// PAREMSP_TEST_SEED:
+//
+//   PAREMSP_TEST_SEED=<seed> ./paremsp_tests --gtest_filter='Stream*'
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/env.hpp"
+#include "core/registry.hpp"
+#include "core/request.hpp"
+#include "image/generators.hpp"
+#include "stream/slab_session.hpp"
+
+namespace paremsp {
+namespace {
+
+using stream::SlabResult;
+using stream::SlabSession;
+using stream::StreamOptions;
+using stream::StreamResult;
+
+/// Content mix with every seam flavor: organic patches, a spiral that
+/// crosses any horizontal cut many times, corner-contact checkerboards
+/// (the 8-vs-4 discriminator), and noise.
+BinaryImage stream_image(Coord rows, Coord cols, std::uint64_t seed) {
+  switch (seed % 4) {
+    case 0: return gen::landcover_like(rows, cols, seed);
+    case 1: return gen::spiral(rows, cols, 2, 3);
+    case 2: return gen::checkerboard(rows, cols, 1);
+    default: return gen::uniform_noise(rows, cols, 0.5, seed);
+  }
+}
+
+GrayImage gray_image(Coord rows, Coord cols, std::uint64_t seed) {
+  GrayImage image(rows, cols);
+  std::mt19937_64 rng(seed);
+  for (Coord r = 0; r < rows; ++r) {
+    std::uint8_t* row = image.row(r);
+    for (Coord c = 0; c < cols; ++c) {
+      row[c] = static_cast<std::uint8_t>(rng() & 0xff);
+    }
+  }
+  return image;
+}
+
+/// One-shot reference over the concatenated image (run-based AREMSP via
+/// the unified request API — the same kernels the session reuses, but
+/// exercised through a totally different control path).
+LabelResponse one_shot(ConstImageView input, const StreamOptions& opts) {
+  LabelRequest request;
+  request.input = input;
+  request.connectivity = opts.connectivity;
+  request.threshold = opts.threshold;
+  request.outputs.stats = opts.stats;
+  return make_labeler(Algorithm::AremspRle)->run(request);
+}
+
+/// Stream `input` through a session with the given slab heights and
+/// check every acceptance property against the one-shot reference.
+void expect_stream_matches(ConstImageView input, StreamOptions opts,
+                           const std::vector<Coord>& heights,
+                           const std::string& context) {
+  const Coord rows = input.rows();
+  const Coord cols = input.cols();
+  opts.cols = cols;
+  const LabelResponse ref = one_shot(input, opts);
+
+  SlabSession session(opts);
+  std::vector<LabelImage> planes;
+  Coord consumed = 0;
+  std::size_t carried_prev = 0;
+  for (std::size_t k = 0; consumed < rows; ++k) {
+    const Coord take =
+        std::min(heights[k % heights.size()], rows - consumed);
+    SlabResult slab =
+        session.push_slab(input.subview(consumed, 0, take, cols));
+    EXPECT_EQ(slab.row_begin, consumed) << context;
+    EXPECT_EQ(slab.rows, take) << context;
+    EXPECT_EQ(slab.slab_index, k) << context;
+    EXPECT_EQ(slab.carried_in, carried_prev) << context;
+    EXPECT_LE(slab.open_components, slab.seam_runs_out) << context;
+    carried_prev = slab.seam_runs_out;
+    if (opts.labels) planes.push_back(std::move(slab.labels));
+    consumed += take;
+  }
+  const std::size_t slabs = session.slabs_pushed();
+  EXPECT_GT(session.seam_state_bytes(), 0u) << context;
+
+  StreamResult done = session.finish();
+  EXPECT_EQ(done.num_components, ref.num_components) << context;
+  EXPECT_EQ(done.rows, rows) << context;
+  EXPECT_EQ(done.slabs, slabs) << context;
+  ASSERT_EQ(done.slab_remaps.size(), slabs) << context;
+  // finish() releases the carried seam and tracking state.
+  EXPECT_EQ(session.seam_state_bytes(), 0u) << context;
+
+  if (opts.labels) {
+    // Composing each slab's remap table over its plane must reproduce
+    // the one-shot labeling row for row.
+    Coord r0 = 0;
+    for (std::size_t k = 0; k < planes.size(); ++k) {
+      const std::vector<Label>& remap = done.slab_remaps[k];
+      for (Coord r = 0; r < planes[k].rows(); ++r) {
+        const Label* got = planes[k].row(r);
+        const Label* want = ref.labels.row(r0 + r);
+        for (Coord c = 0; c < cols; ++c) {
+          const Label local = got[c];
+          ASSERT_LT(static_cast<std::size_t>(local), remap.size())
+              << context << " slab " << k;
+          if (remap[static_cast<std::size_t>(local)] != want[c]) {
+            FAIL() << context << ": slab " << k << " pixel (" << r << ", "
+                   << c << ") remaps to "
+                   << remap[static_cast<std::size_t>(local)]
+                   << ", one-shot labeled " << want[c];
+          }
+        }
+      }
+      r0 += planes[k].rows();
+    }
+  }
+
+  if (opts.stats) {
+    ASSERT_TRUE(done.stats.has_value()) << context;
+    ASSERT_TRUE(ref.stats.has_value()) << context;
+    // Bit-identical, centroid doubles included: both sides divide the
+    // same exact integer sums by the same areas.
+    EXPECT_EQ(done.stats->components, ref.stats->components) << context;
+  }
+}
+
+std::string case_name(Connectivity conn, ShardScan scan, Coord rows,
+                      Coord cols, std::uint64_t seed,
+                      const std::vector<Coord>& heights) {
+  std::ostringstream os;
+  os << (conn == Connectivity::Eight ? "8-conn" : "4-conn") << "/"
+     << to_string(scan) << " " << rows << "x" << cols << " seed=" << seed
+     << " heights={";
+  for (std::size_t i = 0; i < heights.size(); ++i) {
+    os << (i != 0 ? "," : "") << heights[i];
+  }
+  os << "} (set PAREMSP_TEST_SEED to replay)";
+  return os.str();
+}
+
+TEST(Stream, SlabHeightSweepMatchesOneShotBothConnectivitiesAndScans) {
+  const std::uint64_t seed = env_uint64("PAREMSP_TEST_SEED", 0xfea7);
+  const Coord rows = 37, cols = 53;
+  for (const Connectivity conn : {Connectivity::Eight, Connectivity::Four}) {
+    for (const ShardScan scan : {ShardScan::Runs, ShardScan::Pixel}) {
+      if (scan == ShardScan::Pixel && conn == Connectivity::Four) continue;
+      for (std::uint64_t variant = 0; variant < 4; ++variant) {
+        const BinaryImage image = stream_image(rows, cols, seed + variant);
+        // 1-row slabs, even/odd heights (odd heights park later slabs on
+        // odd global rows — the two-line pair-straddle case), and the
+        // degenerate single full-image slab.
+        for (const Coord h : {Coord{1}, Coord{2}, Coord{3}, Coord{5},
+                              Coord{16}, rows}) {
+          StreamOptions opts;
+          opts.connectivity = conn;
+          opts.scan = scan;
+          opts.stats = true;
+          expect_stream_matches(
+              ConstImageView(image), opts, {h},
+              case_name(conn, scan, rows, cols, seed + variant, {h}));
+        }
+      }
+    }
+  }
+}
+
+TEST(Stream, RandomizedRaggedPartitionsMatchOneShot) {
+  const std::uint64_t seed = env_uint64("PAREMSP_TEST_SEED", 0xfea7);
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL + 11);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Coord rows = 8 + static_cast<Coord>(rng() % 90);
+    const Coord cols = 1 + static_cast<Coord>(rng() % 70);
+    const BinaryImage image = stream_image(rows, cols, rng());
+    // A full random partition: every slab a different height.
+    std::vector<Coord> heights;
+    Coord planned = 0;
+    while (planned < rows) {
+      const Coord h = 1 + static_cast<Coord>(rng() % 11);
+      heights.push_back(h);
+      planned += h;
+    }
+    StreamOptions opts;
+    opts.connectivity =
+        (rng() & 1) != 0 ? Connectivity::Eight : Connectivity::Four;
+    opts.scan = ShardScan::Runs;
+    opts.stats = (rng() & 1) != 0;
+    expect_stream_matches(ConstImageView(image), opts, heights,
+                          case_name(opts.connectivity, opts.scan, rows, cols,
+                                    seed, heights));
+  }
+}
+
+TEST(Stream, FusedThresholdStreamingMatchesOneShotGrayscale) {
+  const std::uint64_t seed = env_uint64("PAREMSP_TEST_SEED", 0xfea7);
+  const Coord rows = 45, cols = 33;
+  const GrayImage gray = gray_image(rows, cols, seed);
+  for (const ShardScan scan : {ShardScan::Runs, ShardScan::Pixel}) {
+    for (const double threshold : {0.25, 0.5, 0.75}) {
+      StreamOptions opts;
+      opts.scan = scan;
+      opts.threshold = threshold;
+      opts.stats = true;
+      expect_stream_matches(ConstImageView(gray), opts, {Coord{7}},
+                            case_name(Connectivity::Eight, scan, rows, cols,
+                                      seed, {Coord{7}}));
+    }
+  }
+}
+
+TEST(Stream, StatsOnlySessionNeverMaterializesPlanes) {
+  const BinaryImage image = stream_image(40, 40, 2);
+  StreamOptions opts;
+  opts.labels = false;
+  opts.stats = true;
+  expect_stream_matches(ConstImageView(image), opts, {Coord{6}},
+                        "stats-only Runs session");
+}
+
+TEST(Stream, AllBackgroundAndAllForegroundStreams) {
+  for (const std::uint8_t fill : {std::uint8_t{0}, std::uint8_t{1}}) {
+    BinaryImage image(29, 17);
+    for (Coord r = 0; r < image.rows(); ++r) {
+      std::fill_n(image.row(r), image.cols(), fill);
+    }
+    for (const Connectivity conn :
+         {Connectivity::Eight, Connectivity::Four}) {
+      StreamOptions opts;
+      opts.connectivity = conn;
+      opts.stats = true;
+      expect_stream_matches(ConstImageView(image), opts, {Coord{4}},
+                            fill != 0 ? "all foreground" : "all background");
+    }
+  }
+}
+
+TEST(Stream, SingleColumnAndSingleRowGeometries) {
+  const std::uint64_t seed = env_uint64("PAREMSP_TEST_SEED", 0xfea7);
+  {
+    const BinaryImage tall = gen::uniform_noise(64, 1, 0.6, seed);
+    StreamOptions opts;
+    opts.stats = true;
+    expect_stream_matches(ConstImageView(tall), opts, {Coord{1}},
+                          "64x1 column, 1-row slabs");
+  }
+  {
+    const BinaryImage wide = gen::uniform_noise(1, 64, 0.6, seed);
+    StreamOptions opts;
+    opts.stats = true;
+    expect_stream_matches(ConstImageView(wide), opts, {Coord{1}},
+                          "1x64 row, single slab");
+  }
+}
+
+TEST(Stream, EmptySessionFinishResolvesToNothing) {
+  StreamOptions opts;
+  opts.cols = 8;
+  SlabSession session(opts);
+  const StreamResult done = session.finish();
+  EXPECT_EQ(done.num_components, 0);
+  EXPECT_EQ(done.rows, 0);
+  EXPECT_EQ(done.slabs, 0u);
+  EXPECT_TRUE(done.slab_remaps.empty());
+}
+
+// ---- Failing configurations: errors, never UB ---------------------------
+
+TEST(StreamValidation, RejectsInvalidOptions) {
+  EXPECT_THROW(SlabSession((StreamOptions{})), PreconditionError);  // cols 0
+  {
+    StreamOptions opts;
+    opts.cols = 8;
+    opts.threshold = 1.5;
+    EXPECT_THROW(SlabSession{opts}, PreconditionError);
+  }
+  {
+    StreamOptions opts;
+    opts.cols = 8;
+    opts.threshold = -0.1;
+    EXPECT_THROW(SlabSession{opts}, PreconditionError);
+  }
+  {
+    // The pixel scan kernel is 8-connectivity only, same as sharding.
+    StreamOptions opts;
+    opts.cols = 8;
+    opts.scan = ShardScan::Pixel;
+    opts.connectivity = Connectivity::Four;
+    EXPECT_THROW(SlabSession{opts}, PreconditionError);
+  }
+}
+
+TEST(StreamValidation, RejectsMismatchedAndDegenerateSlabs) {
+  StreamOptions opts;
+  opts.cols = 16;
+  SlabSession session(opts);
+  const BinaryImage wrong_width = gen::uniform_noise(4, 8, 0.5, 1);
+  EXPECT_THROW(session.push_slab(ConstImageView(wrong_width)),
+               PreconditionError);
+  const BinaryImage right_width = gen::uniform_noise(4, 16, 0.5, 1);
+  EXPECT_THROW(
+      session.push_slab(ConstImageView(right_width).subview(0, 0, 0, 16)),
+      PreconditionError);
+  // The session survives rejected pushes: a valid push still works.
+  EXPECT_NO_THROW(session.push_slab(ConstImageView(right_width)));
+}
+
+TEST(StreamValidation, DoubleFinishAndPushAfterFinishThrow) {
+  StreamOptions opts;
+  opts.cols = 8;
+  SlabSession session(opts);
+  const BinaryImage image = gen::uniform_noise(3, 8, 0.5, 7);
+  (void)session.push_slab(ConstImageView(image));
+  (void)session.finish();
+  EXPECT_TRUE(session.finished());
+  EXPECT_THROW((void)session.finish(), PreconditionError);
+  EXPECT_THROW((void)session.push_slab(ConstImageView(image)),
+               PreconditionError);
+}
+
+TEST(StreamValidation, RequestDeadlineMustBePositive) {
+  const BinaryImage image = gen::uniform_noise(8, 8, 0.5, 3);
+  const auto labeler = make_labeler(Algorithm::AremspRle);
+  for (const auto budget :
+       {std::chrono::nanoseconds{0}, std::chrono::nanoseconds{-5}}) {
+    LabelRequest request;
+    request.input = ConstImageView(image);
+    request.deadline = budget;
+    EXPECT_THROW((void)labeler->run(request), PreconditionError);
+  }
+}
+
+TEST(StreamValidation, DirectRunHonorsCancellationAtEntry) {
+  const BinaryImage image = gen::uniform_noise(8, 8, 0.5, 3);
+  CancelSource source;
+  LabelRequest request;
+  request.input = ConstImageView(image);
+  request.cancel = source.token();
+  const auto labeler = make_labeler(Algorithm::AremspRle);
+  EXPECT_NO_THROW((void)labeler->run(request));  // token not yet fired
+  source.request_cancel();
+  EXPECT_THROW((void)labeler->run(request), CancelledError);
+}
+
+}  // namespace
+}  // namespace paremsp

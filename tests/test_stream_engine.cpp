@@ -1,0 +1,352 @@
+// Engine streaming sessions + QoS: StreamSession end-to-end equivalence
+// through the worker pool, bounded-window backpressure, deadline /
+// cancellation semantics on every executor path (one-shot pickup,
+// sharded phase boundaries, stream slab boundaries), and clean failure
+// under cancellation or shutdown racing a live session. Suites all match
+// the Stream* filter used by the TSan CI job:
+//
+//   ./paremsp_tests --gtest_filter='Stream*'
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "core/registry.hpp"
+#include "core/request.hpp"
+#include "engine/engine.hpp"
+#include "engine/stream_session.hpp"
+#include "image/generators.hpp"
+#include "stream/slab_session.hpp"
+
+namespace paremsp {
+namespace {
+
+using engine::EngineConfig;
+using engine::LabelingEngine;
+using engine::StreamConfig;
+using stream::SlabResult;
+using stream::StreamOptions;
+using stream::StreamResult;
+
+BinaryImage stream_image(Coord rows, Coord cols, std::uint64_t seed) {
+  switch (seed % 3) {
+    case 0: return gen::landcover_like(rows, cols, seed);
+    case 1: return gen::spiral(rows, cols, 2, 3);
+    default: return gen::uniform_noise(rows, cols, 0.5, seed);
+  }
+}
+
+LabelResponse one_shot(ConstImageView input, const StreamOptions& opts) {
+  LabelRequest request;
+  request.input = input;
+  request.connectivity = opts.connectivity;
+  request.threshold = opts.threshold;
+  request.outputs.stats = opts.stats;
+  return make_labeler(Algorithm::AremspRle)->run(request);
+}
+
+/// Push `input` through an engine session in `slab_rows`-row slabs and
+/// check the composed result against the one-shot reference.
+void expect_engine_stream_matches(LabelingEngine& eng, ConstImageView input,
+                                  StreamConfig config, Coord slab_rows) {
+  const Coord rows = input.rows();
+  const Coord cols = input.cols();
+  config.options.cols = cols;
+  const LabelResponse ref = one_shot(input, config.options);
+
+  auto session = eng.open_stream(config);
+  std::vector<std::future<SlabResult>> futures;
+  for (Coord r = 0; r < rows; r += slab_rows) {
+    const Coord take = std::min(slab_rows, rows - r);
+    futures.push_back(session->push_slab(input.subview(r, 0, take, cols)));
+  }
+  std::vector<LabelImage> planes;
+  for (auto& f : futures) planes.push_back(f.get().labels);
+  StreamResult done = session->finish().get();
+
+  EXPECT_EQ(done.num_components, ref.num_components);
+  ASSERT_EQ(done.slab_remaps.size(), planes.size());
+  Coord r0 = 0;
+  for (std::size_t k = 0; k < planes.size(); ++k) {
+    const std::vector<Label>& remap = done.slab_remaps[k];
+    for (Coord r = 0; r < planes[k].rows(); ++r) {
+      const Label* got = planes[k].row(r);
+      const Label* want = ref.labels.row(r0 + r);
+      for (Coord c = 0; c < cols; ++c) {
+        ASSERT_EQ(remap[static_cast<std::size_t>(got[c])], want[c])
+            << "slab " << k << " pixel (" << r << ", " << c << ")";
+      }
+    }
+    r0 += planes[k].rows();
+    // Hand planes back: steady-state sessions should re-label out of the
+    // recycled pool (correctness must be unaffected either way).
+    session->recycle(std::move(planes[k]));
+  }
+  if (config.options.stats) {
+    ASSERT_TRUE(done.stats.has_value());
+    ASSERT_TRUE(ref.stats.has_value());
+    EXPECT_EQ(done.stats->components, ref.stats->components);
+  }
+}
+
+// --- End-to-end through the pool -------------------------------------------
+
+TEST(StreamEngine, SessionMatchesOneShotAcrossWindowsAndConnectivities) {
+  LabelingEngine eng({.workers = 4});
+  const BinaryImage image = stream_image(96, 72, 7);
+  for (const std::size_t window : {std::size_t{1}, std::size_t{4}}) {
+    for (const Connectivity conn :
+         {Connectivity::Eight, Connectivity::Four}) {
+      StreamConfig config;
+      config.options.connectivity = conn;
+      config.options.stats = true;
+      config.window = window;
+      expect_engine_stream_matches(eng, ConstImageView(image), config, 5);
+    }
+  }
+  const auto stats = eng.stats();
+  EXPECT_EQ(stats.stream_sessions_opened, 4u);
+  EXPECT_EQ(stats.stream_sessions_completed, 4u);
+  // 96 rows in 5-row slabs = 20 slabs per session.
+  EXPECT_EQ(stats.stream_slabs_completed, 80u);
+  EXPECT_EQ(stats.jobs_shed, 0u);
+  EXPECT_EQ(stats.jobs_cancelled, 0u);
+}
+
+TEST(StreamEngine, WindowOneIsLockstep) {
+  // With window = 1 the second push may only return once the first
+  // slab's future is already fulfilled — that IS the backpressure
+  // contract, observable without any timing assumptions.
+  LabelingEngine eng({.workers = 2});
+  const BinaryImage image = stream_image(30, 40, 1);
+  StreamConfig config;
+  config.options.cols = 40;
+  config.window = 1;
+  auto session = eng.open_stream(config);
+  auto f0 = session->push_slab(ConstImageView(image).subview(0, 0, 10, 40));
+  auto f1 = session->push_slab(ConstImageView(image).subview(10, 0, 10, 40));
+  EXPECT_EQ(f0.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  auto f2 = session->push_slab(ConstImageView(image).subview(20, 0, 10, 40));
+  EXPECT_EQ(f1.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  (void)f2.get();
+  (void)session->finish().get();
+}
+
+// --- Validation (caller bugs throw synchronously, nothing poisons) ---------
+
+TEST(StreamEngineValidation, RejectsBadConfigs) {
+  LabelingEngine eng({.workers = 1});
+  StreamConfig no_cols;  // options.cols defaults to 0
+  EXPECT_THROW((void)eng.open_stream(no_cols), PreconditionError);
+
+  StreamConfig zero_window;
+  zero_window.options.cols = 8;
+  zero_window.window = 0;
+  EXPECT_THROW((void)eng.open_stream(zero_window), PreconditionError);
+
+  StreamConfig zero_deadline;
+  zero_deadline.options.cols = 8;
+  zero_deadline.deadline = Deadline{0};
+  EXPECT_THROW((void)eng.open_stream(zero_deadline), PreconditionError);
+
+  StreamConfig negative_deadline;
+  negative_deadline.options.cols = 8;
+  negative_deadline.deadline = Deadline{-5};
+  EXPECT_THROW((void)eng.open_stream(negative_deadline), PreconditionError);
+}
+
+TEST(StreamEngineValidation, CallerBugsThrowWithoutPoisoningTheSession) {
+  LabelingEngine eng({.workers = 2});
+  const BinaryImage image = stream_image(24, 32, 2);
+  StreamConfig config;
+  config.options.cols = 32;
+  auto session = eng.open_stream(config);
+
+  const BinaryImage wrong_width(4, 16);
+  EXPECT_THROW((void)session->push_slab(ConstImageView(wrong_width)),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)session->push_slab(ConstImageView(image).subview(0, 0, 0, 32)),
+      PreconditionError);
+
+  // The rejected calls must not have broken the session.
+  auto fut = session->push_slab(ConstImageView(image));
+  EXPECT_EQ(fut.get().rows, 24);
+  StreamResult done = session->finish().get();
+  EXPECT_EQ(done.slabs, 1u);
+
+  EXPECT_THROW((void)session->push_slab(ConstImageView(image)),
+               PreconditionError);  // push after finish
+  EXPECT_THROW((void)session->finish(), PreconditionError);  // double finish
+}
+
+// --- QoS: deadlines and cancellation on every executor path ----------------
+
+TEST(StreamEngineQoS, ExpiredDeadlineShedsStreamSlabs) {
+  LabelingEngine eng({.workers = 2});
+  const BinaryImage image = stream_image(16, 24, 3);
+  StreamConfig config;
+  config.options.cols = 24;
+  config.deadline = std::chrono::nanoseconds(1);  // expired by any pickup
+  auto session = eng.open_stream(config);
+  auto slab = session->push_slab(ConstImageView(image));
+  auto done = session->finish();
+  EXPECT_THROW((void)slab.get(), DeadlineExceededError);
+  EXPECT_THROW((void)done.get(), DeadlineExceededError);
+  EXPECT_GE(eng.stats().jobs_shed, 1u);
+  EXPECT_EQ(eng.stats().stream_sessions_completed, 0u);
+}
+
+TEST(StreamEngineQoS, PreCancelledTokenFailsStreamSlabs) {
+  LabelingEngine eng({.workers = 2});
+  const BinaryImage image = stream_image(16, 24, 4);
+  CancelSource source;
+  source.request_cancel();
+  StreamConfig config;
+  config.options.cols = 24;
+  config.cancel = source.token();
+  auto session = eng.open_stream(config);
+  auto slab = session->push_slab(ConstImageView(image));
+  EXPECT_THROW((void)slab.get(), CancelledError);
+  // A poisoned session fails later ops with the original cause.
+  auto done = session->finish();
+  EXPECT_THROW((void)done.get(), CancelledError);
+  EXPECT_GE(eng.stats().jobs_cancelled, 1u);
+}
+
+TEST(StreamEngineQoS, OneShotDeadlineShedsAtPickup) {
+  LabelingEngine eng({.workers = 2});
+  const BinaryImage image = stream_image(32, 32, 5);
+  LabelRequest request;
+  request.input = ConstImageView(image);
+  request.deadline = std::chrono::nanoseconds(1);
+  auto fut = eng.submit(std::move(request));
+  EXPECT_THROW((void)fut.get(), DeadlineExceededError);
+  const auto stats = eng.stats();
+  EXPECT_GE(stats.jobs_shed, 1u);
+  EXPECT_GE(stats.jobs_failed, 1u);  // shed jobs ARE failed completions
+}
+
+TEST(StreamEngineQoS, OneShotPreCancelledFailsCleanly) {
+  LabelingEngine eng({.workers = 2});
+  const BinaryImage image = stream_image(32, 32, 6);
+  CancelSource source;
+  source.request_cancel();
+  LabelRequest request;
+  request.input = ConstImageView(image);
+  request.cancel = source.token();
+  auto fut = eng.submit(std::move(request));
+  EXPECT_THROW((void)fut.get(), CancelledError);
+  EXPECT_GE(eng.stats().jobs_cancelled, 1u);
+}
+
+TEST(StreamEngineQoS, ShardedDeadlineShedsAtPhaseBoundary) {
+  LabelingEngine eng({.workers = 2});
+  const BinaryImage image = stream_image(64, 64, 7);
+  LabelRequest request;
+  request.input = ConstImageView(image);
+  request.shard = ShardOptions{};
+  request.deadline = std::chrono::nanoseconds(1);
+  auto fut = eng.submit(std::move(request));
+  EXPECT_THROW((void)fut.get(), DeadlineExceededError);
+  EXPECT_GE(eng.stats().jobs_shed, 1u);
+}
+
+TEST(StreamEngineQoS, ShardedPreCancelledFailsCleanly) {
+  LabelingEngine eng({.workers = 2});
+  const BinaryImage image = stream_image(64, 64, 8);
+  CancelSource source;
+  source.request_cancel();
+  LabelRequest request;
+  request.input = ConstImageView(image);
+  request.shard = ShardOptions{};
+  request.cancel = source.token();
+  auto fut = eng.submit(std::move(request));
+  EXPECT_THROW((void)fut.get(), CancelledError);
+  EXPECT_GE(eng.stats().jobs_cancelled, 1u);
+}
+
+// --- Races (TSan targets) --------------------------------------------------
+
+TEST(StreamEngineRace, CancellationMidSessionIsClean) {
+  LabelingEngine eng({.workers = 4});
+  const BinaryImage image = stream_image(200, 48, 9);
+  CancelSource source;
+  StreamConfig config;
+  config.options.cols = 48;
+  config.window = 4;
+  config.cancel = source.token();
+  auto session = eng.open_stream(config);
+
+  std::vector<std::future<SlabResult>> futures;
+  std::thread producer([&] {
+    for (Coord r = 0; r < 200; r += 2) {
+      try {
+        futures.push_back(
+            session->push_slab(ConstImageView(image).subview(r, 0, 2, 48)));
+      } catch (const PreconditionError&) {
+        break;  // not expected, but harmless if validation ever raced
+      }
+    }
+  });
+  source.request_cancel();  // races slab processing and blocked pushes
+  producer.join();
+
+  std::size_t delivered = 0;
+  std::size_t cancelled = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+      ++delivered;
+    } catch (const CancelledError&) {
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(delivered + cancelled, futures.size());
+  // Whether or not the token won the race against the slabs, it fired
+  // before finish() — the resolve op must observe it.
+  EXPECT_THROW((void)session->finish().get(), CancelledError);
+  EXPECT_GE(eng.stats().jobs_cancelled, 1u);
+}
+
+TEST(StreamEngineRace, ShutdownMidSessionFailsFuturesCleanly) {
+  std::optional<LabelingEngine> eng;
+  eng.emplace(EngineConfig{.workers = 2});
+  const BinaryImage image = stream_image(120, 40, 10);
+  StreamConfig config;
+  config.options.cols = 40;
+  config.window = 8;
+  auto session = eng->open_stream(config);
+
+  std::vector<std::future<SlabResult>> futures;
+  for (Coord r = 0; r < 120; r += 2) {
+    futures.push_back(
+        session->push_slab(ConstImageView(image).subview(r, 0, 2, 40)));
+  }
+  eng->shutdown();  // races the chained slab tasks
+
+  std::size_t delivered = 0;
+  std::size_t failed = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+      ++delivered;
+    } catch (const PreconditionError&) {
+      ++failed;  // "LabelingEngine shut down mid-session"
+    }
+  }
+  EXPECT_EQ(delivered + failed, futures.size());
+  // After shutdown every new op fails; the future never hangs.
+  EXPECT_THROW((void)session->finish().get(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace paremsp
