@@ -40,7 +40,6 @@
 #include "core/label_scratch.hpp"
 #include "core/paremsp.hpp"
 #include "core/paremsp_tiled.hpp"
-#include "image/generators.hpp"
 #include "unionfind/lock_pool.hpp"
 
 namespace {
@@ -138,8 +137,10 @@ int main() {
       96, static_cast<Coord>(1024.0 * std::sqrt(std::max(scale, 1e-3))));
   const Coord tile = std::max<Coord>(16, side / 8);  // 8x8 tile grid
   const int reps = std::max(1, bench_reps());
-  const std::vector<int> thread_counts = sweep_thread_counts({1, 2, 4, 8});
-  const std::vector<double> densities = {0.05, 0.5, 0.9};
+  const ThroughputMatrix matrix =
+      make_throughput_matrix({0.05, 0.5, 0.9}, side, side, AremspLabeler(),
+                             {1, 2, 4, 8});
+  const std::vector<int>& thread_counts = matrix.thread_counts;
   const std::vector<BackendConfig> configs = backend_configs();
 
   std::cout << "image: " << side << "x" << side << " uniform noise per "
@@ -149,12 +150,11 @@ int main() {
   int failures = 0;
   std::vector<MergeRecord> runs;
 
-  for (const double density : densities) {
-    const BinaryImage image = gen::uniform_noise(
-        side, side, density, static_cast<std::uint64_t>(density * 1000) + 3);
+  for (const DensityCase& dc : matrix.cases) {
+    const double density = dc.density;
+    const BinaryImage& image = dc.image;
+    const LabelingResult& want = dc.reference;
     LabelScratch scratch;
-    const LabelingResult want =
-        AremspLabeler().label_into(image, scratch);
 
     TextTable table("merge phase [ms] at density " +
                     TextTable::num(density, 2) + " (best of " +

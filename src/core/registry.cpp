@@ -15,12 +15,13 @@
 #include "core/paremsp.hpp"
 #include "core/paremsp_tiled.hpp"
 #include "core/rle_labelers.hpp"
+#include "propagate/propagate_labeler.hpp"
 
 namespace paremsp {
 
 namespace {
 
-constexpr std::array<AlgorithmInfo, 13> kCatalog{{
+constexpr std::array<AlgorithmInfo, 15> kCatalog{{
     {Algorithm::FloodFill, "floodfill",
      "BFS flood fill (ground-truth oracle)", false, true, false, true},
     {Algorithm::Suzuki, "suzuki",
@@ -55,6 +56,12 @@ constexpr std::array<AlgorithmInfo, 13> kCatalog{{
     {Algorithm::ParemspTiledRle, "paremsp2d_rle",
      "extension: run-based 2-D tiled PAREMSP (run seam merges)", true, true,
      false, true, true},
+    {Algorithm::Propagate, "propagate",
+     "extension: coarse-to-fine label propagation (sequential reference)",
+     false, true, false, true, false, Backend::Propagation},
+    {Algorithm::PropagatePar, "propagate_par",
+     "extension: coarse-to-fine label propagation (std::thread kernels)",
+     true, true, false, true, false, Backend::Propagation},
 }};
 
 }  // namespace
@@ -82,6 +89,14 @@ void require_supported(Algorithm algorithm, Connectivity connectivity) {
   PAREMSP_REQUIRE(info.supports(connectivity),
                   std::string(info.name) + " does not support " +
                       to_string(connectivity));
+}
+
+Algorithm default_algorithm_for(Backend backend, Connectivity connectivity) {
+  if (backend == Backend::Propagation) return Algorithm::Propagate;
+  // AREMSP's two-line mask is inherently 8-connected; the paper's one-line
+  // decision tree is the 4-connectivity-capable sequential reference.
+  return connectivity == Connectivity::Four ? Algorithm::Cclremsp
+                                            : Algorithm::Aremsp;
 }
 
 std::unique_ptr<Labeler> make_labeler(Algorithm algorithm,
@@ -138,6 +153,12 @@ std::unique_ptr<Labeler> make_labeler(Algorithm algorithm,
                     .cas_find = options.cas_find,
                     .cas_splice = options.cas_splice},
           options.connectivity);
+    case Algorithm::Propagate:
+      return std::make_unique<PropagateLabeler>(PropagateConfig{},
+                                                options.connectivity);
+    case Algorithm::PropagatePar:
+      return std::make_unique<PropagateParLabeler>(
+          PropagateConfig{.threads = options.threads}, options.connectivity);
   }
   throw PreconditionError("unknown algorithm id");
 }

@@ -113,6 +113,15 @@ struct LabelRequest {
   /// Must be within [0.0, 1.0].
   std::optional<double> threshold;
 
+  /// Algorithm-family selector: when set, the request must execute on a
+  /// labeler of this family (registry AlgorithmInfo::backend). The engine
+  /// routes a mismatching one-shot request to the family's reference
+  /// labeler on the worker; direct Labeler::run and the executors without
+  /// a propagation story — sharded and streaming — reject a mismatch
+  /// synchronously with a PreconditionError, never silently fall back.
+  /// nullopt = run on whatever the executor was configured with.
+  std::optional<Backend> backend;
+
   /// What to compute.
   OutputSet outputs;
 

@@ -1,0 +1,306 @@
+#include "propagate/propagate_kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace paremsp::propagate {
+
+namespace {
+
+/// Lower *slot toward `value` with a relaxed CAS loop (atomic fetch_min is
+/// C++26; this is the portable spelling). Returns through `retries` how
+/// often the CAS lost to a concurrent lowering.
+inline void atomic_min(Label* slot, Label value, std::uint64_t& retries) {
+  std::atomic_ref<Label> ref(*slot);
+  Label cur = ref.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+      return;
+    }
+    ++retries;
+  }
+}
+
+/// Read-only root chase. Reference values strictly decrease along a chain
+/// (scan only ever writes lo < hi into parents[hi]), so this terminates
+/// and can never cycle.
+inline Label chase_root(std::span<const Label> parents, Label l) noexcept {
+  Label r = l;
+  for (;;) {
+    const Label p = parents[static_cast<std::size_t>(r)];
+    if (p == r || p == 0) return r;
+    r = p;
+  }
+}
+
+/// chase_root through relaxed atomic reads, for kernels running while
+/// other threads lower entries (analysis / labeling). Monotone-decreasing
+/// writes keep any interleaving terminating and valid.
+inline Label chase_root_atomic(std::span<const Label> parents,
+                               Label l) noexcept {
+  Label r = l;
+  for (;;) {
+    const Label p =
+        std::atomic_ref<const Label>(parents[static_cast<std::size_t>(r)])
+            .load(std::memory_order_relaxed);
+    if (p == r || p == 0) return r;
+    r = p;
+  }
+}
+
+}  // namespace
+
+Label init_blocks(ConstImageView image, LabelImage& labels,
+                  std::span<Label> parents, const PropagateGrid& grid,
+                  Connectivity connectivity, std::int64_t block_begin,
+                  std::int64_t block_end) {
+  const Coord cols = grid.cols;
+  const auto offsets = neighbors(connectivity);
+  Label heads = 0;
+  for (std::int64_t b = block_begin; b < block_end; ++b) {
+    const Coord gr = static_cast<Coord>(b / grid.grid_cols());
+    const Coord gc = static_cast<Coord>(b % grid.grid_cols());
+    const Coord r0 = gr * grid.block_rows;
+    const Coord r1 = std::min<Coord>(r0 + grid.block_rows, grid.rows);
+    const Coord c0 = gc * grid.block_cols;
+    const Coord c1 = std::min<Coord>(c0 + grid.block_cols, grid.cols);
+
+    if (r1 - r0 == 1) {
+      // Fast path for the default 1-row cells: within one row every
+      // connectivity reduces to left/right, indices increase with the
+      // column, so each run's minimum is its leftmost pixel — one forward
+      // pass converges.
+      const Coord r = r0;
+      for (Coord c = c0; c < c1; ++c) {
+        if (image(r, c) == 0) {
+          labels(r, c) = 0;
+        } else if (c > c0 && labels(r, c - 1) != 0) {
+          labels(r, c) = labels(r, c - 1);
+        } else {
+          labels(r, c) = static_cast<Label>(
+              static_cast<std::int64_t>(r) * cols + c + 1);
+        }
+      }
+    } else {
+      // Seed with own indices, then Gauss-Seidel min sweeps (forward +
+      // anti-raster) until the block's interior reaches its fixpoint.
+      for (Coord r = r0; r < r1; ++r) {
+        for (Coord c = c0; c < c1; ++c) {
+          labels(r, c) =
+              image(r, c) != 0
+                  ? static_cast<Label>(static_cast<std::int64_t>(r) * cols +
+                                       c + 1)
+                  : 0;
+        }
+      }
+      const auto in_block_min = [&](Coord r, Coord c) {
+        Label m = labels(r, c);
+        for (const Offset o : offsets) {
+          const Coord rr = r + o.dr;
+          const Coord cc = c + o.dc;
+          if (rr < r0 || rr >= r1 || cc < c0 || cc >= c1) continue;
+          const Label v = labels(rr, cc);
+          if (v != 0 && v < m) m = v;
+        }
+        return m;
+      };
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (Coord r = r0; r < r1; ++r) {
+          for (Coord c = c0; c < c1; ++c) {
+            if (labels(r, c) == 0) continue;
+            const Label m = in_block_min(r, c);
+            if (m < labels(r, c)) {
+              labels(r, c) = m;
+              changed = true;
+            }
+          }
+        }
+        for (Coord r = r1 - 1; r >= r0; --r) {
+          for (Coord c = c1 - 1; c >= c0; --c) {
+            if (labels(r, c) == 0) continue;
+            const Label m = in_block_min(r, c);
+            if (m < labels(r, c)) {
+              labels(r, c) = m;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+
+    // Heads and reference init. Blocks are disjoint, so the parents
+    // entries of this block's pixels belong to this kernel invocation
+    // alone — plain writes.
+    for (Coord r = r0; r < r1; ++r) {
+      for (Coord c = c0; c < c1; ++c) {
+        const std::size_t idx =
+            static_cast<std::size_t>(static_cast<std::int64_t>(r) * cols + c);
+        const Label l = labels(r, c);
+        if (l != 0 && l == static_cast<Label>(idx + 1)) {
+          parents[idx + 1] = l;
+          ++heads;
+        } else {
+          parents[idx + 1] = 0;
+        }
+      }
+    }
+  }
+  return heads;
+}
+
+ScanResult scan_boundary_lines(const LabelImage& labels,
+                               std::span<Label> parents,
+                               const PropagateGrid& grid,
+                               Connectivity connectivity,
+                               std::int64_t line_begin, std::int64_t line_end) {
+  const bool eight = connectivity == Connectivity::Eight;
+  const std::int64_t hb = grid.horizontal_lines();
+  ScanResult out;
+  const auto link = [&](Label la, Label lb) {
+    if (lb == 0 || la == lb) return;
+    ++out.pairs;
+    out.changed = true;
+    const Label lo = std::min(la, lb);
+    const Label hi = std::max(la, lb);
+    atomic_min(&parents[static_cast<std::size_t>(hi)], lo, out.retries);
+  };
+  for (std::int64_t line = line_begin; line < line_end; ++line) {
+    if (line < hb) {
+      // Horizontal seam between row bands `line` and `line + 1`.
+      const Coord r = static_cast<Coord>((line + 1) * grid.block_rows - 1);
+      for (Coord c = 0; c < grid.cols; ++c) {
+        const Label la = labels(r, c);
+        if (la == 0) continue;
+        link(la, labels(r + 1, c));
+        if (eight) {
+          if (c > 0) link(la, labels(r + 1, c - 1));
+          if (c + 1 < grid.cols) link(la, labels(r + 1, c + 1));
+        }
+      }
+    } else {
+      // Vertical seam between column bands.
+      const Coord c =
+          static_cast<Coord>((line - hb + 1) * grid.block_cols - 1);
+      for (Coord r = 0; r < grid.rows; ++r) {
+        const Label la = labels(r, c);
+        if (la == 0) continue;
+        link(la, labels(r, c + 1));
+        if (eight) {
+          if (r > 0) link(la, labels(r - 1, c + 1));
+          if (r + 1 < grid.rows) link(la, labels(r + 1, c + 1));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void compress_parents(std::span<Label> parents, Label label_begin,
+                      Label label_end) {
+  for (Label l = label_begin; l < label_end; ++l) {
+    std::atomic_ref<Label> ref(parents[static_cast<std::size_t>(l)]);
+    const Label p = ref.load(std::memory_order_relaxed);
+    if (p == 0 || p == l) continue;
+    const Label root = chase_root_atomic(parents, p);
+    // Monotone: root <= p, and no other thread writes this entry during
+    // the analysis launch (one writer per index).
+    ref.store(root, std::memory_order_relaxed);
+  }
+}
+
+void relabel_boundary_lines(LabelImage& labels, std::span<const Label> parents,
+                            const PropagateGrid& grid,
+                            std::int64_t line_begin, std::int64_t line_end) {
+  const std::int64_t hb = grid.horizontal_lines();
+  // A pixel at a seam crossing (boundary row AND boundary column) is
+  // refreshed by two line invocations; both resolve the same root, so the
+  // duplicate store is value-identical — atomic_ref keeps it data-race
+  // free for TSan all the same.
+  const auto refresh = [&](Coord r, Coord c) {
+    std::atomic_ref<Label> px(labels(r, c));
+    const Label l = px.load(std::memory_order_relaxed);
+    if (l == 0) return;
+    const Label root = chase_root(parents, l);
+    if (root != l) px.store(root, std::memory_order_relaxed);
+  };
+  for (std::int64_t line = line_begin; line < line_end; ++line) {
+    if (line < hb) {
+      const Coord r = static_cast<Coord>((line + 1) * grid.block_rows - 1);
+      for (Coord c = 0; c < grid.cols; ++c) {
+        refresh(r, c);
+        refresh(r + 1, c);
+      }
+    } else {
+      const Coord c =
+          static_cast<Coord>((line - hb + 1) * grid.block_cols - 1);
+      for (Coord r = 0; r < grid.rows; ++r) {
+        refresh(r, c);
+        refresh(r, c + 1);
+      }
+    }
+  }
+}
+
+void refine_pixels(LabelImage& labels, std::span<const Label> parents,
+                   std::int64_t px_begin, std::int64_t px_end) {
+  const std::span<Label> px = labels.pixels();
+  for (std::int64_t i = px_begin; i < px_end; ++i) {
+    const Label l = px[static_cast<std::size_t>(i)];
+    if (l == 0) continue;
+    const Label root = chase_root(parents, l);
+    if (root != l) px[static_cast<std::size_t>(i)] = root;
+  }
+}
+
+std::uint64_t count_absorbed(std::span<const Label> parents,
+                             Label label_begin, Label label_end) {
+  std::uint64_t absorbed = 0;
+  for (Label l = label_begin; l < label_end; ++l) {
+    const Label p = parents[static_cast<std::size_t>(l)];
+    if (p != 0 && p != l) ++absorbed;
+  }
+  return absorbed;
+}
+
+Label renumber_first_appearance(const LabelImage& labels,
+                                std::span<Label> remap,
+                                Connectivity connectivity) {
+  std::fill(remap.begin(), remap.end(), 0);
+  Label next = 0;
+  const auto visit = [&](Coord r, Coord c) {
+    const Label l = labels(r, c);
+    if (l != 0 && remap[static_cast<std::size_t>(l)] == 0) {
+      remap[static_cast<std::size_t>(l)] = ++next;
+    }
+  };
+  if (connectivity == Connectivity::Eight) {
+    // AREMSP's two-line order: row pairs, column by column, upper pixel
+    // before lower (core/scan_two_line.hpp).
+    for (Coord r = 0; r < labels.rows(); r += 2) {
+      const bool has_down = r + 1 < labels.rows();
+      for (Coord c = 0; c < labels.cols(); ++c) {
+        visit(r, c);
+        if (has_down) visit(r + 1, c);
+      }
+    }
+  } else {
+    // CCLREMSP's (and the flood-fill oracle's) raster order.
+    for (Coord r = 0; r < labels.rows(); ++r) {
+      for (Coord c = 0; c < labels.cols(); ++c) visit(r, c);
+    }
+  }
+  return next;
+}
+
+void rewrite_labels(LabelImage& labels, std::span<const Label> remap,
+                    std::int64_t px_begin, std::int64_t px_end) {
+  const std::span<Label> px = labels.pixels();
+  for (std::int64_t i = px_begin; i < px_end; ++i) {
+    px[static_cast<std::size_t>(i)] =
+        remap[static_cast<std::size_t>(px[static_cast<std::size_t>(i)])];
+  }
+}
+
+}  // namespace paremsp::propagate

@@ -1,0 +1,166 @@
+// Data-parallel kernels for the coarse-to-fine label-propagation backend.
+//
+// This is the library's second algorithm FAMILY (Backend::Propagation in
+// core/labeling.hpp): instead of the paper's scan + union-find, labels are
+// the pixels' own linear indices and components converge by iterated
+// min-label propagation over a label-equivalence reference array — the
+// scanning / analysis / labeling kernel triple of the GPU CCL literature
+// (Komura, arXiv:1603.08357) with the coarse-to-fine blocking of
+// arXiv:1712.09789 layered on top:
+//
+//   1. init_blocks      — resolve each block_rows x block_cols cell
+//                         internally (Gauss-Seidel min sweeps; the default
+//                         1x8 cells collapse to one forward run-pass), so
+//                         only one representative ("head") per in-block
+//                         component enters the global phase.
+//   2. per pass, until no boundary adjacency disagrees:
+//        scan_boundary_lines    — atomic-min the larger head's reference
+//                                 toward the smaller across every
+//                                 block-boundary adjacency (bounded write,
+//                                 no root chase — re-scanning next pass
+//                                 repairs any link lost to a concurrent
+//                                 lower write);
+//        compress_parents       — pointer-jump every reference to its
+//                                 current root (full path compression);
+//        relabel_boundary_lines — refresh ONLY boundary pixels, so the
+//                                 per-pass cost is O(boundary), not
+//                                 O(pixels) — the coarse-to-fine win.
+//   3. refine_pixels    — one full resolve of every pixel through the
+//                         converged references (read-only chase).
+//   4. renumber_first_appearance + rewrite_labels — canonical dense ids in
+//                         AREMSP's two-line visit order (raster order for
+//                         4-connectivity), which is what buys bit-identity
+//                         with the union-find family (DESIGN.md §13).
+//
+// Every kernel is a pure function over a flat index range — grid-stride
+// shaped, no shared mutable state beyond the label plane and the reference
+// array, both accessed through relaxed std::atomic_ref where ranges can
+// overlap — so each maps 1:1 onto a CUDA launch when a device port lands.
+// The kernels are schedule-independent: the fixpoint (per-component label
+// partition) does not depend on thread count or write order, which is what
+// makes propagate_par bit-identical to the sequential reference.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+#include "image/connectivity.hpp"
+#include "image/raster.hpp"
+#include "image/view.hpp"
+
+namespace paremsp::propagate {
+
+/// Geometry of the coarse grid: the image partitioned into
+/// block_rows x block_cols cells (the trailing row band / column band may
+/// be partial). Kernels index blocks and boundary lines through this.
+struct PropagateGrid {
+  Coord rows = 0;
+  Coord cols = 0;
+  Coord block_rows = 1;
+  Coord block_cols = 8;
+
+  [[nodiscard]] Coord grid_rows() const noexcept {
+    return rows == 0 ? 0 : (rows + block_rows - 1) / block_rows;
+  }
+  [[nodiscard]] Coord grid_cols() const noexcept {
+    return cols == 0 ? 0 : (cols + block_cols - 1) / block_cols;
+  }
+  [[nodiscard]] std::int64_t blocks() const noexcept {
+    return static_cast<std::int64_t>(grid_rows()) * grid_cols();
+  }
+  /// Boundary lines: the seams between adjacent block bands. Lines
+  /// [0, grid_rows-1) are horizontal (between row bands), the rest
+  /// vertical (between column bands); kernels iterate this one flat space.
+  [[nodiscard]] std::int64_t horizontal_lines() const noexcept {
+    return grid_rows() > 0 ? grid_rows() - 1 : 0;
+  }
+  [[nodiscard]] std::int64_t boundary_lines() const noexcept {
+    const std::int64_t v = grid_cols() > 0 ? grid_cols() - 1 : 0;
+    return horizontal_lines() + v;
+  }
+};
+
+/// Coarse kernel over block ids [block_begin, block_end): seed every
+/// foreground pixel with its linear index + 1, resolve each block
+/// internally to its in-block component minima, and initialize the
+/// reference array — parents[l] = l for every head (a pixel whose
+/// converged in-block label is its own index), 0 for every other entry in
+/// the range's blocks. Returns the number of heads issued (the backend's
+/// provisional-label count). Blocks are disjoint, so the kernel is
+/// race-free by construction.
+[[nodiscard]] Label init_blocks(ConstImageView image, LabelImage& labels,
+                                std::span<Label> parents,
+                                const PropagateGrid& grid,
+                                Connectivity connectivity,
+                                std::int64_t block_begin,
+                                std::int64_t block_end);
+
+/// What one scanning-kernel invocation observed.
+struct ScanResult {
+  std::uint64_t pairs = 0;    // cross-boundary adjacencies with la != lb
+  std::uint64_t retries = 0;  // atomic-min CAS retries (contention)
+  bool changed = false;       // any disagreeing adjacency seen
+};
+
+/// Scanning kernel over boundary lines [line_begin, line_end): for every
+/// pair of foreground pixels adjacent across a block boundary whose labels
+/// disagree, atomic-min the larger label's reference toward the smaller.
+/// References only ever decrease (toward the component minimum), so
+/// concurrent writes cannot lose connectivity — a link overwritten by a
+/// lower value is simply re-scanned next pass against the refreshed labels.
+[[nodiscard]] ScanResult scan_boundary_lines(const LabelImage& labels,
+                                             std::span<Label> parents,
+                                             const PropagateGrid& grid,
+                                             Connectivity connectivity,
+                                             std::int64_t line_begin,
+                                             std::int64_t line_end);
+
+/// Analysis kernel over label entries [label_begin, label_end): pointer-
+/// jump every live reference to its current root (full path compression).
+/// One writer per entry; reads of other entries race benignly — every
+/// write in the system is monotone decreasing, so a stale read only means
+/// one more pass, never a wrong chain.
+void compress_parents(std::span<Label> parents, Label label_begin,
+                      Label label_end);
+
+/// Labeling kernel over boundary lines [line_begin, line_end): refresh the
+/// labels of the pixels on BOTH sides of each seam to their current roots.
+/// Interior pixels stay intentionally stale until refine_pixels — the
+/// per-pass cost is proportional to the boundary, not the image.
+void relabel_boundary_lines(LabelImage& labels, std::span<const Label> parents,
+                            const PropagateGrid& grid,
+                            std::int64_t line_begin, std::int64_t line_end);
+
+/// Fine kernel over flat pixel indices [px_begin, px_end): resolve every
+/// foreground pixel through the converged reference array (read-only
+/// chase, trivially race-free).
+void refine_pixels(LabelImage& labels, std::span<const Label> parents,
+                   std::int64_t px_begin, std::int64_t px_end);
+
+/// Count heads absorbed into another tree (parents[l] != l): with
+/// references converged this equals heads - components exactly — each head
+/// is absorbed at most once — which is what keeps the backend honest
+/// against the union oracle (scan_unions + merge_unions ==
+/// provisional_labels - num_components, tests/test_obs.cpp).
+[[nodiscard]] std::uint64_t count_absorbed(std::span<const Label> parents,
+                                           Label label_begin, Label label_end);
+
+/// Sequential canonical-renumber walk: assign dense ids 1..k by first
+/// appearance in AREMSP's two-line visit order (row pairs, column by
+/// column, upper before lower) for 8-connectivity, raster order (the
+/// CCLREMSP / flood-fill order) for 4-connectivity, into `remap` (sized
+/// like parents; fully cleared here). Returns k. The first-visited pixel
+/// of a component is always a new-label event in the corresponding scan,
+/// so remapping by this walk makes the output bit-identical to the
+/// union-find family's (see core/tiled_phases.hpp for the argument).
+[[nodiscard]] Label renumber_first_appearance(const LabelImage& labels,
+                                              std::span<Label> remap,
+                                              Connectivity connectivity);
+
+/// Rewrite kernel over flat pixel indices: labels[i] = remap[labels[i]]
+/// (remap[0] == 0 keeps background fixed).
+void rewrite_labels(LabelImage& labels, std::span<const Label> remap,
+                    std::int64_t px_begin, std::int64_t px_end);
+
+}  // namespace paremsp::propagate

@@ -1,22 +1,27 @@
 // Tests for the algorithm registry/factory.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 
+#include "analysis/component_stats.hpp"
 #include "baselines/arun.hpp"
+#include "baselines/flood_fill.hpp"
 #include "baselines/run_he2008.hpp"
 #include "common/contracts.hpp"
 #include "core/aremsp.hpp"
+#include "core/label_scratch.hpp"
 #include "core/registry.hpp"
 #include "core/request.hpp"
+#include "fixtures.hpp"
 
 namespace paremsp {
 namespace {
 
 TEST(Registry, CatalogIsCompleteAndUnique) {
   const auto catalog = algorithm_catalog();
-  EXPECT_EQ(catalog.size(), 13u);
+  EXPECT_EQ(catalog.size(), 15u);
   std::set<std::string_view> names;
   std::set<Algorithm> ids;
   for (const auto& info : catalog) {
@@ -45,7 +50,8 @@ TEST(Registry, ParallelAlgorithmsAreFlagged) {
   }
   EXPECT_EQ(parallel,
             (std::set<std::string_view>{"paremsp", "paremsp2d", "psuzuki",
-                                        "paremsp_rle", "paremsp2d_rle"}));
+                                        "paremsp_rle", "paremsp2d_rle",
+                                        "propagate_par"}));
 }
 
 TEST(Registry, RleAlgorithmsAreCatalogedForTheRegistryDrivenSuites) {
@@ -129,6 +135,96 @@ TEST(Registry, SupportsIsTheSingleSourceOfTruth) {
     } else {
       EXPECT_THROW(require_supported(info.id, Connectivity::Four),
                    PreconditionError);
+    }
+  }
+}
+
+TEST(Registry, BackendFamilyFlagsMatchTheCatalog) {
+  // The propagation family is exactly the src/propagate/ pair; everything
+  // descended from the paper's scan + union-find carries UnionFind. The
+  // engine's per-request routing and validate_request's family gate both
+  // key off this flag, so a wrong entry would silently route requests to
+  // the other family.
+  std::set<std::string_view> propagation;
+  for (const auto& info : algorithm_catalog()) {
+    if (info.backend == Backend::Propagation) propagation.insert(info.name);
+  }
+  EXPECT_EQ(propagation,
+            (std::set<std::string_view>{"propagate", "propagate_par"}));
+  EXPECT_EQ(default_algorithm_for(Backend::Propagation, Connectivity::Eight),
+            Algorithm::Propagate);
+  EXPECT_EQ(default_algorithm_for(Backend::Propagation, Connectivity::Four),
+            Algorithm::Propagate);
+  EXPECT_EQ(default_algorithm_for(Backend::UnionFind, Connectivity::Eight),
+            Algorithm::Aremsp);
+  EXPECT_EQ(default_algorithm_for(Backend::UnionFind, Connectivity::Four),
+            Algorithm::Cclremsp);
+  // The routed reference must itself carry the family it was routed for.
+  for (const Backend b : {Backend::UnionFind, Backend::Propagation}) {
+    for (const Connectivity c : {Connectivity::Four, Connectivity::Eight}) {
+      const Algorithm a = default_algorithm_for(b, c);
+      EXPECT_EQ(algorithm_info(a).backend, b);
+      EXPECT_TRUE(algorithm_info(a).supports(c));
+    }
+  }
+}
+
+TEST(Registry, CatalogCapabilityFlagsAreHonest) {
+  // The exhaustive/differential/metamorphic suites trust the catalog: a
+  // flag that overstates what an algorithm does would make those suites
+  // silently skip (or mislabel) it. Probe every algorithm against the
+  // flood-fill oracle on an image where 4- and 8-connectivity disagree
+  // maximally — a checkerboard is ONE component 8-connected and all
+  // isolated pixels 4-connected — so an algorithm lying about
+  // connectivity support cannot return the right count by accident.
+  BinaryImage image(9, 9, 0);
+  for (Coord r = 0; r < image.rows(); ++r) {
+    for (Coord c = 0; c < image.cols(); ++c) {
+      if ((r + c) % 2 == 0) image(r, c) = 1;
+    }
+  }
+  for (const auto& info : algorithm_catalog()) {
+    for (const Connectivity conn : {Connectivity::Four, Connectivity::Eight}) {
+      if (!info.supports(conn)) {
+        // A backend that cannot label under `conn` must fail
+        // require_supported — never construct and mislabel.
+        EXPECT_THROW(require_supported(info.id, conn), PreconditionError)
+            << info.name;
+        continue;
+      }
+      const LabelerOptions options{.connectivity = conn};
+      const auto labeler = make_labeler(info.id, options);
+      const auto oracle = FloodFillLabeler(conn).label(image);
+      const LabelingResult result = labeler->label(image);
+      EXPECT_EQ(result.num_components, oracle.num_components)
+          << info.name << " under " << to_string(conn);
+
+      // fused_stats honesty: fused or fallback, label_with_stats must be
+      // value-identical to label() + the post-pass oracle.
+      const LabelingWithStats ws = labeler->label_with_stats(image);
+      EXPECT_EQ(ws.labeling.num_components, result.num_components);
+      testing::expect_stats_identical(
+          ws.stats,
+          analysis::compute_stats(ws.labeling.labels,
+                                  ws.labeling.num_components),
+          std::string(info.name));
+
+      // scratch_reuse honesty: a warm LabelScratch (result plane handed
+      // back, like the engine's arenas do) must serve a repeat of the
+      // same image allocation-free, with identical output.
+      if (info.scratch_reuse) {
+        LabelScratch scratch;
+        LabelingResult first = labeler->label_into(image, scratch);
+        const std::vector<Label> expected(first.labels.pixels().begin(),
+                                          first.labels.pixels().end());
+        scratch.recycle_plane(std::move(first.labels));
+        const std::uint64_t warm_grows = scratch.grow_count();
+        const LabelingResult second = labeler->label_into(image, scratch);
+        EXPECT_EQ(scratch.grow_count(), warm_grows)
+            << info.name << " grew a warm scratch";
+        EXPECT_TRUE(std::ranges::equal(expected, second.labels.pixels()))
+            << info.name;
+      }
     }
   }
 }
